@@ -1,0 +1,234 @@
+// MICRO — google-benchmark timings of every pipeline stage, sized to the
+// paper scenario (120 users). Answers "can this run at the edge every
+// 5-minute interval?" — the whole per-interval pipeline must be orders of
+// magnitude faster than the interval itself.
+#include <benchmark/benchmark.h>
+
+#include "analysis/swiping.hpp"
+#include "clustering/kmeans.hpp"
+#include "clustering/metrics.hpp"
+#include "core/feature_compressor.hpp"
+#include "core/group_constructor.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "predict/channel_predictor.hpp"
+#include "predict/demand.hpp"
+#include "rl/ddqn.hpp"
+#include "twin/udt.hpp"
+#include "wireless/channel.hpp"
+
+namespace {
+
+using namespace dtmsv;
+
+clustering::Points random_points(std::size_t n, std::size_t dim, util::Rng& rng) {
+  clustering::Points points(n, std::vector<double>(dim));
+  for (auto& p : points) {
+    for (double& v : p) {
+      v = rng.uniform();
+    }
+  }
+  return points;
+}
+
+std::vector<std::vector<float>> random_windows(std::size_t n, std::size_t size,
+                                               util::Rng& rng) {
+  std::vector<std::vector<float>> windows(n, std::vector<float>(size));
+  for (auto& w : windows) {
+    for (float& v : w) {
+      v = static_cast<float>(rng.uniform());
+    }
+  }
+  return windows;
+}
+
+void BM_KMeansPlusPlusInit(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto points = random_points(static_cast<std::size_t>(state.range(0)), 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::kmeans_plus_plus_init(points, 8, rng));
+  }
+}
+BENCHMARK(BM_KMeansPlusPlusInit)->Arg(120)->Arg(500);
+
+void BM_KMeansFull(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto points = random_points(static_cast<std::size_t>(state.range(0)), 8, rng);
+  clustering::KMeansOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::k_means(points, 8, rng, opts));
+  }
+}
+BENCHMARK(BM_KMeansFull)->Arg(120)->Arg(500);
+
+void BM_Silhouette(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto points = random_points(static_cast<std::size_t>(state.range(0)), 8, rng);
+  const auto result = clustering::k_means(points, 8, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustering::silhouette(points, result.assignment));
+  }
+}
+BENCHMARK(BM_Silhouette)->Arg(120)->Arg(500);
+
+void BM_CnnEmbed120Users(benchmark::State& state) {
+  core::CompressorConfig cfg;  // 11 channels x 32 steps -> 8-d
+  core::FeatureCompressor comp(cfg, 4);
+  util::Rng rng(5);
+  const auto windows = random_windows(120, comp.input_size(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp.embed(windows));
+  }
+}
+BENCHMARK(BM_CnnEmbed120Users);
+
+void BM_CnnFitEpoch120Users(benchmark::State& state) {
+  core::CompressorConfig cfg;
+  cfg.epochs_per_fit = 1;
+  core::FeatureCompressor comp(cfg, 6);
+  util::Rng rng(7);
+  const auto windows = random_windows(120, comp.input_size(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp.fit(windows));
+  }
+}
+BENCHMARK(BM_CnnFitEpoch120Users);
+
+void BM_DdqnAct(benchmark::State& state) {
+  rl::DdqnConfig cfg;
+  cfg.state_dim = 20;
+  cfg.action_count = 11;
+  rl::DdqnAgent agent(cfg, 8);
+  std::vector<float> s(20, 0.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act(s));
+  }
+}
+BENCHMARK(BM_DdqnAct);
+
+void BM_DdqnTrainStep(benchmark::State& state) {
+  rl::DdqnConfig cfg;
+  cfg.state_dim = 20;
+  cfg.action_count = 11;
+  cfg.min_replay_before_train = 32;
+  rl::DdqnAgent agent(cfg, 9);
+  util::Rng rng(10);
+  for (int i = 0; i < 256; ++i) {
+    rl::Transition t;
+    t.state.assign(20, static_cast<float>(rng.uniform()));
+    t.next_state.assign(20, static_cast<float>(rng.uniform()));
+    t.action = static_cast<std::size_t>(rng.uniform_int(0, 10));
+    t.reward = static_cast<float>(rng.uniform());
+    agent.observe(std::move(t));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.train_step());
+  }
+}
+BENCHMARK(BM_DdqnTrainStep);
+
+void BM_UdtIngestChannelSample(benchmark::State& state) {
+  twin::UserDigitalTwin udt(0);
+  double t = 0.0;
+  for (auto _ : state) {
+    udt.record_channel(t, {12.0, 2.5, 0});
+    t += 1.0;
+  }
+}
+BENCHMARK(BM_UdtIngestChannelSample);
+
+void BM_FeatureWindowExtract(benchmark::State& state) {
+  twin::UserDigitalTwin udt(0);
+  util::Rng rng(11);
+  for (int t = 0; t < 600; ++t) {
+    udt.record_channel(t, {rng.uniform(0.0, 25.0), rng.uniform(0.0, 5.0), 0});
+    if (t % 5 == 0) {
+      udt.record_location(t, {rng.uniform(0.0, 1200.0), rng.uniform(0.0, 1000.0)});
+    }
+  }
+  const twin::FeatureScaling scaling{1200.0, 1000.0, 10.0, 40.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(udt.feature_window(600.0, 600.0, 32, scaling));
+  }
+}
+BENCHMARK(BM_FeatureWindowExtract);
+
+void BM_ChannelStep120Users(benchmark::State& state) {
+  const auto map = mobility::CampusMap::waterloo_campus();
+  util::Rng rng(12);
+  wireless::RadioConfig cfg;
+  wireless::ChannelModel channel(map, cfg, 120, rng);
+  mobility::MobilityConfig mob_cfg;
+  util::Rng mob_rng(13);
+  mobility::MobilityField field(map, mob_cfg, 120, mob_rng);
+  for (auto _ : state) {
+    field.advance(1.0);
+    channel.step(field.snapshot());
+  }
+}
+BENCHMARK(BM_ChannelStep120Users);
+
+void BM_GroupChannelForecast(benchmark::State& state) {
+  util::Rng rng(14);
+  std::vector<twin::UserDigitalTwin> twins;
+  std::vector<const twin::UserDigitalTwin*> ptrs;
+  const auto members = static_cast<std::size_t>(state.range(0));
+  twins.reserve(members);
+  for (std::size_t u = 0; u < members; ++u) {
+    twins.emplace_back(u);
+  }
+  for (auto& t : twins) {
+    for (int s = 0; s < 600; ++s) {
+      t.record_channel(s, {rng.uniform(0.0, 25.0), rng.uniform(0.1, 5.0), 0});
+    }
+    ptrs.push_back(&t);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        predict::forecast_group_channel(ptrs, 600.0, 600.0));
+  }
+}
+BENCHMARK(BM_GroupChannelForecast)->Arg(15)->Arg(60);
+
+void BM_SwipingExpectedMax(benchmark::State& state) {
+  analysis::SwipingDistribution dist;
+  util::Rng rng(15);
+  for (int i = 0; i < 2000; ++i) {
+    dist.observe(video::Category::kNews, rng.beta(2.0, 3.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dist.expected_max_watch_fraction(video::Category::kNews, 20));
+  }
+}
+BENCHMARK(BM_SwipingExpectedMax);
+
+void BM_PredictGroupDemand(benchmark::State& state) {
+  analysis::SwipingDistribution dist;
+  util::Rng rng(16);
+  for (int i = 0; i < 2000; ++i) {
+    for (const auto c : video::all_categories()) {
+      dist.observe(c, rng.beta(2.0, 3.0));
+    }
+  }
+  behavior::PreferenceVector mix{};
+  mix.fill(1.0 / video::kCategoryCount);
+  std::array<std::size_t, video::kCategoryCount> playlist{};
+  playlist.fill(6);
+  predict::ContentStats content;
+  content.mean_duration_s.fill(15.0);
+  content.ladder_kbps = video::BitrateLadder::standard().rungs();
+  content.ladder_scale_quantiles = {0.9, 0.95, 1.0, 1.05, 1.1};
+  predict::DemandModelConfig config;
+  predict::GroupChannelForecast forecast;
+  forecast.efficiency = 2.0;
+  forecast.min_series.assign(600, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(predict::predict_group_demand(
+        15, mix, dist, forecast, playlist, content, config));
+  }
+}
+BENCHMARK(BM_PredictGroupDemand);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+#include "analysis/popularity.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dtmsv::analysis {
+
+PopularityAnalyzer::PopularityAnalyzer(double forgetting) : forgetting_(forgetting) {
+  DTMSV_EXPECTS(forgetting > 0.0 && forgetting <= 1.0);
+}
+
+void PopularityAnalyzer::observe(std::uint64_t video_id, double watch_seconds) {
+  DTMSV_EXPECTS(watch_seconds >= 0.0);
+  scores_[video_id] += watch_seconds;
+}
+
+void PopularityAnalyzer::decay() {
+  for (auto it = scores_.begin(); it != scores_.end();) {
+    it->second *= forgetting_;
+    if (it->second < 1e-6) {
+      it = scores_.erase(it);  // prune dead entries to bound memory
+    } else {
+      ++it;
+    }
+  }
+}
+
+double PopularityAnalyzer::score(std::uint64_t video_id) const {
+  const auto it = scores_.find(video_id);
+  return it == scores_.end() ? 0.0 : it->second;
+}
+
+namespace {
+std::vector<std::pair<std::uint64_t, double>> sorted_entries(
+    const std::unordered_map<std::uint64_t, double>& scores) {
+  std::vector<std::pair<std::uint64_t, double>> entries(scores.begin(), scores.end());
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  return entries;
+}
+}  // namespace
+
+std::vector<std::uint64_t> PopularityAnalyzer::top_videos(std::size_t n) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, score] : sorted_entries(scores_)) {
+    if (out.size() >= n) {
+      break;
+    }
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> PopularityAnalyzer::top_videos_in_category(
+    std::size_t n, video::Category category, const video::Catalog& catalog) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, score] : sorted_entries(scores_)) {
+    if (out.size() >= n) {
+      break;
+    }
+    if (catalog.video(id).category == category) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace dtmsv::analysis

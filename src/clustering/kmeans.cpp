@@ -1,0 +1,202 @@
+#include "clustering/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dtmsv::clustering {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  DTMSV_EXPECTS(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+double distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+std::vector<std::size_t> KMeansResult::members_of(std::size_t cluster) const {
+  std::vector<std::size_t> members;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == cluster) {
+      members.push_back(i);
+    }
+  }
+  return members;
+}
+
+std::vector<std::size_t> KMeansResult::cluster_sizes() const {
+  std::vector<std::size_t> sizes(centroids.size(), 0);
+  for (const std::size_t a : assignment) {
+    ++sizes[a];
+  }
+  return sizes;
+}
+
+namespace {
+
+void validate_points(const Points& points) {
+  DTMSV_EXPECTS_MSG(!points.empty(), "k-means: empty point set");
+  const std::size_t dim = points.front().size();
+  DTMSV_EXPECTS_MSG(dim > 0, "k-means: zero-dimensional points");
+  for (const auto& p : points) {
+    DTMSV_EXPECTS_MSG(p.size() == dim, "k-means: inconsistent dimensionality");
+  }
+}
+
+double nearest_centroid_sq(const std::vector<double>& point, const Points& centroids,
+                           std::size_t* index = nullptr) {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    const double d = squared_distance(point, centroids[c]);
+    if (d < best) {
+      best = d;
+      best_idx = c;
+    }
+  }
+  if (index != nullptr) {
+    *index = best_idx;
+  }
+  return best;
+}
+
+KMeansResult run_single(const Points& points, std::size_t k, util::Rng& rng,
+                        const KMeansOptions& options) {
+  const std::size_t dim = points.front().size();
+  KMeansResult result;
+  result.centroids = kmeans_plus_plus_init(points, k, rng);
+  result.assignment.assign(points.size(), 0);
+
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step.
+    bool changed = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      std::size_t nearest = 0;
+      nearest_centroid_sq(points[i], result.centroids, &nearest);
+      if (result.assignment[i] != nearest) {
+        result.assignment[i] = nearest;
+        changed = true;
+      }
+    }
+
+    // Update step.
+    Points next(k, std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const std::size_t c = result.assignment[i];
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) {
+        next[c][d] += points[i][d];
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster with the point farthest from its centroid.
+        std::size_t farthest = 0;
+        double farthest_d = -1.0;
+        for (std::size_t i = 0; i < points.size(); ++i) {
+          const double d =
+              squared_distance(points[i], result.centroids[result.assignment[i]]);
+          if (d > farthest_d) {
+            farthest_d = d;
+            farthest = i;
+          }
+        }
+        next[c] = points[farthest];
+        result.assignment[farthest] = c;
+        changed = true;
+        continue;
+      }
+      for (std::size_t d = 0; d < dim; ++d) {
+        next[c][d] /= static_cast<double>(counts[c]);
+      }
+    }
+
+    double movement = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      movement += distance(result.centroids[c], next[c]);
+    }
+    result.centroids = std::move(next);
+
+    if (!changed || movement < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    result.inertia += squared_distance(points[i], result.centroids[result.assignment[i]]);
+  }
+  return result;
+}
+
+}  // namespace
+
+Points kmeans_plus_plus_init(const Points& points, std::size_t k, util::Rng& rng) {
+  validate_points(points);
+  DTMSV_EXPECTS_MSG(k >= 1 && k <= points.size(), "k-means++: k out of range");
+
+  Points centroids;
+  centroids.reserve(k);
+  centroids.push_back(
+      points[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1))]);
+
+  std::vector<double> d2(points.size());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      d2[i] = nearest_centroid_sq(points[i], centroids);
+      total += d2[i];
+    }
+    std::size_t chosen = 0;
+    if (total <= 0.0) {
+      // All remaining points coincide with existing centroids; any point works.
+      chosen = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(points.size()) - 1));
+    } else {
+      chosen = rng.categorical(d2);
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+KMeansResult k_means(const Points& points, std::size_t k, util::Rng& rng,
+                     const KMeansOptions& options) {
+  validate_points(points);
+  DTMSV_EXPECTS_MSG(k >= 1 && k <= points.size(), "k-means: k out of range");
+  DTMSV_EXPECTS(options.restarts >= 1);
+
+  KMeansResult best;
+  double best_inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    KMeansResult run = run_single(points, k, rng, options);
+    if (run.inertia < best_inertia) {
+      best_inertia = run.inertia;
+      best = std::move(run);
+    }
+  }
+  return best;
+}
+
+std::vector<std::size_t> assign_to_nearest(const Points& points, const Points& centroids) {
+  DTMSV_EXPECTS(!centroids.empty());
+  std::vector<std::size_t> assignment(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    nearest_centroid_sq(points[i], centroids, &assignment[i]);
+  }
+  return assignment;
+}
+
+}  // namespace dtmsv::clustering

@@ -1,0 +1,60 @@
+// K-means++ seeding plus Lloyd iterations — the paper's fast user-clustering
+// step ("the K-means++ algorithm is utilized to perform fast user clustering
+// based on the determined grouping number").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dtmsv::clustering {
+
+/// A point set: outer index = point, inner = feature. All points must share
+/// one dimensionality.
+using Points = std::vector<std::vector<double>>;
+
+/// Squared Euclidean distance between two equal-length feature vectors.
+double squared_distance(std::span<const double> a, std::span<const double> b);
+/// Euclidean distance.
+double distance(std::span<const double> a, std::span<const double> b);
+
+/// Outcome of a K-means run.
+struct KMeansResult {
+  Points centroids;                    // k centroids
+  std::vector<std::size_t> assignment;  // per-point cluster index in [0, k)
+  double inertia = 0.0;                // sum of squared point-centroid distances
+  std::size_t iterations = 0;          // Lloyd iterations executed
+  bool converged = false;              // true when assignments stabilised
+
+  std::size_t cluster_count() const { return centroids.size(); }
+  /// Point indices of one cluster.
+  std::vector<std::size_t> members_of(std::size_t cluster) const;
+  /// Sizes of all clusters.
+  std::vector<std::size_t> cluster_sizes() const;
+};
+
+/// Options for k_means().
+struct KMeansOptions {
+  std::size_t max_iterations = 100;
+  /// Convergence threshold on total centroid movement (L2).
+  double tolerance = 1e-6;
+  /// Number of k-means++ restarts; the best-inertia run wins.
+  std::size_t restarts = 3;
+};
+
+/// K-means++ seeding: D²-weighted centroid selection (Arthur & Vassilvitskii).
+/// Requires 1 <= k <= points.size().
+Points kmeans_plus_plus_init(const Points& points, std::size_t k, util::Rng& rng);
+
+/// Full K-means++ clustering. Requires non-empty points with consistent
+/// dimensionality and 1 <= k <= points.size(). Empty clusters that appear
+/// during Lloyd iterations are re-seeded with the farthest point.
+KMeansResult k_means(const Points& points, std::size_t k, util::Rng& rng,
+                     const KMeansOptions& options = {});
+
+/// Assigns each point to its nearest centroid (ties -> lowest index).
+std::vector<std::size_t> assign_to_nearest(const Points& points, const Points& centroids);
+
+}  // namespace dtmsv::clustering

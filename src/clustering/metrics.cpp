@@ -1,0 +1,189 @@
+#include "clustering/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dtmsv::clustering {
+
+namespace {
+
+std::size_t cluster_count_of(const std::vector<std::size_t>& assignment) {
+  std::size_t k = 0;
+  for (const std::size_t a : assignment) {
+    k = std::max(k, a + 1);
+  }
+  return k;
+}
+
+Points centroids_of(const Points& points, const std::vector<std::size_t>& assignment,
+                    std::size_t k, std::vector<std::size_t>& counts) {
+  const std::size_t dim = points.front().size();
+  Points centroids(k, std::vector<double>(dim, 0.0));
+  counts.assign(k, 0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t c = assignment[i];
+    ++counts[c];
+    for (std::size_t d = 0; d < dim; ++d) {
+      centroids[c][d] += points[i][d];
+    }
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      for (double& v : centroids[c]) {
+        v /= static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+double silhouette(const Points& points, const std::vector<std::size_t>& assignment) {
+  DTMSV_EXPECTS(points.size() == assignment.size());
+  if (points.empty()) {
+    return 0.0;
+  }
+  const std::size_t k = cluster_count_of(assignment);
+  std::vector<std::size_t> sizes(k, 0);
+  for (const std::size_t a : assignment) {
+    ++sizes[a];
+  }
+  const auto non_empty =
+      static_cast<std::size_t>(std::count_if(sizes.begin(), sizes.end(),
+                                             [](std::size_t s) { return s > 0; }));
+  if (non_empty < 2) {
+    return 0.0;
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const std::size_t own = assignment[i];
+    if (sizes[own] <= 1) {
+      continue;  // contributes 0
+    }
+    // Mean distance to own cluster (a) and nearest other cluster (b).
+    std::vector<double> dist_sum(k, 0.0);
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j == i) {
+        continue;
+      }
+      dist_sum[assignment[j]] += distance(points[i], points[j]);
+    }
+    const double a = dist_sum[own] / static_cast<double>(sizes[own] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+      if (c == own || sizes[c] == 0) {
+        continue;
+      }
+      b = std::min(b, dist_sum[c] / static_cast<double>(sizes[c]));
+    }
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total += (b - a) / denom;
+    }
+  }
+  return total / static_cast<double>(points.size());
+}
+
+double davies_bouldin(const Points& points, const std::vector<std::size_t>& assignment) {
+  DTMSV_EXPECTS(points.size() == assignment.size());
+  if (points.empty()) {
+    return 0.0;
+  }
+  const std::size_t k = cluster_count_of(assignment);
+  std::vector<std::size_t> counts;
+  const Points centroids = centroids_of(points, assignment, k, counts);
+
+  // Mean intra-cluster scatter per cluster.
+  std::vector<double> scatter(k, 0.0);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    scatter[assignment[i]] += distance(points[i], centroids[assignment[i]]);
+  }
+  std::vector<std::size_t> live;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      scatter[c] /= static_cast<double>(counts[c]);
+      live.push_back(c);
+    }
+  }
+  if (live.size() < 2) {
+    return 0.0;
+  }
+
+  double total = 0.0;
+  for (const std::size_t ci : live) {
+    double worst = 0.0;
+    for (const std::size_t cj : live) {
+      if (ci == cj) {
+        continue;
+      }
+      const double sep = distance(centroids[ci], centroids[cj]);
+      if (sep > 0.0) {
+        worst = std::max(worst, (scatter[ci] + scatter[cj]) / sep);
+      }
+    }
+    total += worst;
+  }
+  return total / static_cast<double>(live.size());
+}
+
+double inertia(const Points& points, const Points& centroids,
+               const std::vector<std::size_t>& assignment) {
+  DTMSV_EXPECTS(points.size() == assignment.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    DTMSV_EXPECTS(assignment[i] < centroids.size());
+    total += squared_distance(points[i], centroids[assignment[i]]);
+  }
+  return total;
+}
+
+double calinski_harabasz(const Points& points, const std::vector<std::size_t>& assignment) {
+  DTMSV_EXPECTS(points.size() == assignment.size());
+  const std::size_t n = points.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  const std::size_t k = cluster_count_of(assignment);
+  std::vector<std::size_t> counts;
+  const Points centroids = centroids_of(points, assignment, k, counts);
+  const auto live = static_cast<std::size_t>(
+      std::count_if(counts.begin(), counts.end(), [](std::size_t c) { return c > 0; }));
+  if (live < 2 || live >= n) {
+    return 0.0;
+  }
+
+  const std::size_t dim = points.front().size();
+  std::vector<double> global(dim, 0.0);
+  for (const auto& p : points) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      global[d] += p[d];
+    }
+  }
+  for (double& v : global) {
+    v /= static_cast<double>(n);
+  }
+
+  double between = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] == 0) {
+      continue;
+    }
+    between += static_cast<double>(counts[c]) * squared_distance(centroids[c], global);
+  }
+  double within = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    within += squared_distance(points[i], centroids[assignment[i]]);
+  }
+  if (within <= 0.0) {
+    return 0.0;
+  }
+  return (between / static_cast<double>(live - 1)) /
+         (within / static_cast<double>(n - live));
+}
+
+}  // namespace dtmsv::clustering

@@ -1,0 +1,28 @@
+// Cluster quality metrics used both as DDQN reward signal and for the
+// clustering ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "clustering/kmeans.hpp"
+
+namespace dtmsv::clustering {
+
+/// Mean silhouette coefficient in [-1, 1]; higher is better. Points in
+/// singleton clusters contribute 0 (scikit-learn convention). Requires at
+/// least 2 clusters with members; returns 0 otherwise.
+double silhouette(const Points& points, const std::vector<std::size_t>& assignment);
+
+/// Davies–Bouldin index (>= 0; lower is better). Returns 0 for fewer than
+/// 2 non-empty clusters.
+double davies_bouldin(const Points& points, const std::vector<std::size_t>& assignment);
+
+/// Within-cluster sum of squared distances to centroids.
+double inertia(const Points& points, const Points& centroids,
+               const std::vector<std::size_t>& assignment);
+
+/// Calinski–Harabasz score (>= 0; higher is better). Returns 0 when not
+/// defined (k < 2 or k >= n).
+double calinski_harabasz(const Points& points, const std::vector<std::size_t>& assignment);
+
+}  // namespace dtmsv::clustering

@@ -1,0 +1,75 @@
+// Grouping-number (K) selection strategies. The paper's contribution uses a
+// DDQN (see core/group_constructor.hpp); the strategies here are the
+// baselines the ablation bench compares against, behind one interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "clustering/kmeans.hpp"
+
+namespace dtmsv::clustering {
+
+/// Strategy interface: given the points to cluster, choose K.
+class KSelector {
+ public:
+  virtual ~KSelector() = default;
+  KSelector() = default;
+  KSelector(const KSelector&) = delete;
+  KSelector& operator=(const KSelector&) = delete;
+
+  /// Chooses a grouping number in [1, points.size()].
+  virtual std::size_t select_k(const Points& points, util::Rng& rng) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Always returns the configured K (clamped to the point count).
+class FixedKSelector final : public KSelector {
+ public:
+  explicit FixedKSelector(std::size_t k);
+  std::size_t select_k(const Points& points, util::Rng& rng) override;
+  std::string name() const override;
+
+ private:
+  std::size_t k_;
+};
+
+/// Classic elbow heuristic: runs K-means for each K in [k_min, k_max] and
+/// picks the K with the largest second difference ("knee") of inertia.
+class ElbowKSelector final : public KSelector {
+ public:
+  ElbowKSelector(std::size_t k_min, std::size_t k_max);
+  std::size_t select_k(const Points& points, util::Rng& rng) override;
+  std::string name() const override { return "elbow"; }
+
+ private:
+  std::size_t k_min_;
+  std::size_t k_max_;
+};
+
+/// Silhouette sweep: picks the K in [k_min, k_max] with best silhouette.
+/// Accurate but O(range · n²) — the "slow oracle" the DDQN approximates.
+class SilhouetteSweepSelector final : public KSelector {
+ public:
+  SilhouetteSweepSelector(std::size_t k_min, std::size_t k_max);
+  std::size_t select_k(const Points& points, util::Rng& rng) override;
+  std::string name() const override { return "silhouette-sweep"; }
+
+ private:
+  std::size_t k_min_;
+  std::size_t k_max_;
+};
+
+/// Uniform-random K in [k_min, k_max] (lower-bound baseline).
+class RandomKSelector final : public KSelector {
+ public:
+  RandomKSelector(std::size_t k_min, std::size_t k_max);
+  std::size_t select_k(const Points& points, util::Rng& rng) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  std::size_t k_min_;
+  std::size_t k_max_;
+};
+
+}  // namespace dtmsv::clustering

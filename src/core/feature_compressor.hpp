@@ -1,0 +1,62 @@
+// The paper's first pipeline stage: "we first utilize a one-dimensional
+// convolution neural network (1D-CNN) to compress the time-series UDTs'
+// data." Trained online as an autoencoder (reconstruction MSE) over the
+// users' feature windows; the bottleneck embedding feeds clustering.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clustering/kmeans.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace dtmsv::core {
+
+/// Compressor hyperparameters.
+struct CompressorConfig {
+  std::size_t channels = 11;      // twin::UserDigitalTwin::kFeatureChannels
+  std::size_t timesteps = 32;     // resampled window length
+  std::size_t embedding_dim = 8;  // bottleneck width
+  std::size_t conv1_filters = 16;
+  std::size_t conv2_filters = 32;
+  std::size_t decoder_hidden = 64;
+  double learning_rate = 1e-3;
+  std::size_t epochs_per_fit = 2;
+  std::size_t batch_size = 32;
+};
+
+/// 1D-CNN autoencoder with an encoder bottleneck used as user embedding.
+class FeatureCompressor {
+ public:
+  FeatureCompressor(const CompressorConfig& config, std::uint64_t seed);
+
+  /// One online training pass: `windows` holds per-user feature windows of
+  /// size channels*timesteps. Returns the mean reconstruction loss of the
+  /// final epoch. Requires at least one window.
+  float fit(const std::vector<std::vector<float>>& windows);
+
+  /// Embeds feature windows into the bottleneck space (no training).
+  clustering::Points embed(const std::vector<std::vector<float>>& windows);
+
+  /// Mean reconstruction MSE of the given windows under the current model.
+  float reconstruction_loss(const std::vector<std::vector<float>>& windows);
+
+  const CompressorConfig& config() const { return config_; }
+  std::size_t input_size() const { return config_.channels * config_.timesteps; }
+  nn::Sequential& encoder() { return *encoder_; }
+  nn::Sequential& decoder() { return *decoder_; }
+
+ private:
+  nn::Tensor to_batch(const std::vector<std::vector<float>>& windows,
+                      std::size_t begin, std::size_t end) const;
+
+  CompressorConfig config_;
+  util::Rng rng_;
+  std::unique_ptr<nn::Sequential> encoder_;  // [N,C,T] -> [N,emb]
+  std::unique_ptr<nn::Sequential> decoder_;  // [N,emb] -> [N,C*T]
+  std::unique_ptr<nn::Adam> optimizer_;
+};
+
+}  // namespace dtmsv::core

@@ -1,0 +1,539 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "clustering/metrics.hpp"
+#include "nn/serialize.hpp"
+#include "util/error.hpp"
+
+namespace dtmsv::core {
+
+namespace {
+
+std::unique_ptr<predict::EfficiencyPredictor> make_channel_predictor(
+    ChannelPredictorKind kind) {
+  switch (kind) {
+    case ChannelPredictorKind::kLastValue:
+      return std::make_unique<predict::LastValuePredictor>();
+    case ChannelPredictorKind::kEwma:
+      return std::make_unique<predict::EwmaPredictor>();
+    case ChannelPredictorKind::kLinearTrend:
+      return std::make_unique<predict::LinearTrendPredictor>();
+    case ChannelPredictorKind::kMean:
+      return std::make_unique<predict::MeanPredictor>();
+  }
+  throw util::PreconditionError("unknown ChannelPredictorKind");
+}
+
+std::unique_ptr<clustering::KSelector> make_baseline_selector(
+    const SchemeConfig& config) {
+  switch (config.k_mode) {
+    case KSelectionMode::kFixed:
+      return std::make_unique<clustering::FixedKSelector>(config.fixed_k);
+    case KSelectionMode::kElbow:
+      return std::make_unique<clustering::ElbowKSelector>(config.grouping.k_min,
+                                                          config.grouping.k_max);
+    case KSelectionMode::kRandom:
+      return std::make_unique<clustering::RandomKSelector>(config.grouping.k_min,
+                                                           config.grouping.k_max);
+    case KSelectionMode::kSilhouetteSweep:
+      return std::make_unique<clustering::SilhouetteSweepSelector>(
+          config.grouping.k_min, config.grouping.k_max);
+    case KSelectionMode::kDdqn:
+      return nullptr;  // handled by GroupConstructor
+  }
+  throw util::PreconditionError("unknown KSelectionMode");
+}
+
+}  // namespace
+
+Simulation::Simulation(const SchemeConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      campus_(mobility::CampusMap::waterloo_campus()),
+      catalog_(video::Catalog::generate(config.session.engagement.catalog, rng_)),
+      content_(predict::ContentStats::from_catalog(catalog_)),
+      popularity_(config.popularity_forgetting),
+      phy_(config.demand.efficiency_floor),
+      playback_rng_(0),
+      cluster_rng_(0) {
+  DTMSV_EXPECTS(config.user_count > 0);
+  DTMSV_EXPECTS(config.interval_s > 0.0);
+  DTMSV_EXPECTS(config.tick_s > 0.0 && config.tick_s <= config.interval_s);
+  DTMSV_EXPECTS(config.feature_window_s > 0.0);
+  DTMSV_EXPECTS(config.feature_timesteps >= 8);
+  DTMSV_EXPECTS(config.swiping_bins >= 2);
+
+  util::Rng fork_source = rng_.fork(1);
+  mobility_ = std::make_unique<mobility::MobilityField>(
+      campus_, config.mobility, config.user_count, fork_source);
+  util::Rng channel_rng = rng_.fork(2);
+  channel_ = std::make_unique<wireless::ChannelModel>(campus_, config.radio,
+                                                      config.user_count, channel_rng);
+  twins_ = std::make_unique<twin::TwinStore>(config.user_count);
+  collector_ = std::make_unique<twin::StatusCollector>(config.collection,
+                                                       config.user_count, rng_.fork(3));
+
+  affinities_.reserve(config.user_count);
+  util::Rng affinity_rng = rng_.fork(4);
+  for (std::size_t u = 0; u < config.user_count; ++u) {
+    affinities_.push_back(
+        behavior::sample_affinity(config.affinity_concentration, affinity_rng));
+  }
+
+  warmup_sessions_.reserve(config.user_count);
+  util::Rng session_rng = rng_.fork(5);
+  for (std::size_t u = 0; u < config.user_count; ++u) {
+    warmup_sessions_.emplace_back(u, catalog_, config.session, affinities_[u],
+                                  session_rng.fork(u));
+  }
+
+  if (config.feature_mode == FeatureMode::kCnnEmbedding) {
+    CompressorConfig cc = config.compressor;
+    cc.channels = twin::UserDigitalTwin::kFeatureChannels;
+    cc.timesteps = config.feature_timesteps;
+    compressor_ = std::make_unique<FeatureCompressor>(cc, rng_.fork(6).next());
+  }
+  if (config.k_mode == KSelectionMode::kDdqn) {
+    constructor_ =
+        std::make_unique<GroupConstructor>(config.grouping, rng_.fork(7).next());
+  } else {
+    baseline_selector_ = make_baseline_selector(config);
+  }
+  channel_predictor_ = make_channel_predictor(config.channel_predictor);
+  playback_rng_ = rng_.fork(8);
+  cluster_rng_ = rng_.fork(9);
+}
+
+Simulation::~Simulation() = default;
+
+const twin::CollectorStats& Simulation::collector_stats() const {
+  return collector_->stats();
+}
+
+const std::vector<std::size_t>& Simulation::group_members(std::size_t g) const {
+  DTMSV_EXPECTS(g < groups_.size());
+  return groups_[g].members;
+}
+
+const analysis::SwipingDistribution& Simulation::group_swiping(std::size_t g) const {
+  DTMSV_EXPECTS(g < groups_.size());
+  return groups_[g].swiping;
+}
+
+const behavior::PreferenceVector& Simulation::group_preference(std::size_t g) const {
+  DTMSV_EXPECTS(g < groups_.size());
+  return groups_[g].preference;
+}
+
+const analysis::Recommendation& Simulation::group_recommendation(std::size_t g) const {
+  DTMSV_EXPECTS(g < groups_.size());
+  return groups_[g].recommendation;
+}
+
+std::size_t Simulation::most_preferring_group(video::Category category) const {
+  DTMSV_EXPECTS_MSG(!groups_.empty(), "no active multicast groups");
+  std::size_t best = 0;
+  double best_weight = -1.0;
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const double w = groups_[g].preference[static_cast<std::size_t>(category)];
+    if (w > best_weight) {
+      best_weight = w;
+      best = g;
+    }
+  }
+  return best;
+}
+
+double Simulation::group_live_efficiency(const Group& g) const {
+  std::vector<double> effs;
+  effs.reserve(g.members.size());
+  for (const std::size_t u : g.members) {
+    effs.push_back(channel_->sample_of(u).efficiency_bps_hz);
+  }
+  return phy_.group_efficiency(effs);
+}
+
+void Simulation::start_group_video(Group& g, util::SimTime at) {
+  const auto& playlist = g.recommendation.playlist;
+  std::uint64_t video_id = 0;
+  if (!playlist.empty()) {
+    video_id = playlist[g.playlist_pos % playlist.size()];
+    ++g.playlist_pos;
+  } else {
+    // Degenerate recommendation: fall back to a popularity sample.
+    const auto cat = video::all_categories()[static_cast<std::size_t>(
+        playback_rng_.uniform_int(0, static_cast<std::int64_t>(video::kCategoryCount) - 1))];
+    video_id = catalog_.sample_from_category(cat, playback_rng_).id;
+  }
+  const video::Video& v = catalog_.video(video_id);
+  g.current = &v;
+  g.video_started = at;
+  g.events_emitted = false;
+
+  const double eff = group_live_efficiency(g);
+  const double budget_kbps = config_.demand.group_bandwidth_budget_hz * eff / 1e3;
+  g.rung = v.ladder.best_rung_within(budget_kbps);
+
+  const auto cat_idx = static_cast<std::size_t>(v.category);
+  g.member_watch_s.assign(g.members.size(), 0.0);
+  double max_watch = 0.0;
+  for (std::size_t i = 0; i < g.members.size(); ++i) {
+    const behavior::PreferenceVector aff =
+        behavior::normalized(affinities_[g.members[i]]);
+    const double frac = video::sample_watch_fraction(
+        aff[cat_idx], config_.session.engagement, playback_rng_);
+    g.member_watch_s[i] = std::min(frac, 1.0) * v.duration_s;
+    max_watch = std::max(max_watch, g.member_watch_s[i]);
+  }
+  g.on_air_s =
+      std::clamp(max_watch + config_.demand.prefetch_s, 0.2, v.duration_s);
+  // Members planning to outlast the on-air window are truncated to it so
+  // watch events never exceed what was actually transmitted.
+  for (double& w : g.member_watch_s) {
+    w = std::min(w, g.on_air_s);
+  }
+}
+
+void Simulation::advance_group(Group& g, util::SimTime from, double dt,
+                               std::vector<behavior::ViewEvent>& events) {
+  double remaining = dt;
+  util::SimTime t = from;
+  while (remaining > 1e-9) {
+    if (g.gap_remaining_s > 0.0) {
+      const double consume = std::min(g.gap_remaining_s, remaining);
+      g.gap_remaining_s -= consume;
+      t += consume;
+      remaining -= consume;
+      continue;
+    }
+    if (g.current == nullptr) {
+      start_group_video(g, t);
+    }
+    const double elapsed = t - g.video_started;
+    const double left_on_air = g.on_air_s - elapsed;
+    if (left_on_air <= 1e-9) {
+      // Video leaves the air: emit each member's watch event.
+      for (std::size_t i = 0; i < g.members.size(); ++i) {
+        behavior::ViewEvent ev;
+        ev.user_id = g.members[i];
+        ev.video_id = g.current->id;
+        ev.category = g.current->category;
+        ev.start_time = g.video_started;
+        ev.duration_s = g.current->duration_s;
+        ev.watch_seconds = g.member_watch_s[i];
+        ev.watch_fraction =
+            std::min(1.0, g.member_watch_s[i] / std::max(g.current->duration_s, 1e-9));
+        ev.completed = g.member_watch_s[i] >= g.current->duration_s - 1e-9;
+        events.push_back(ev);
+      }
+      ++g.videos_played;
+      g.current = nullptr;
+      g.gap_remaining_s = config_.demand.swipe_gap_s;
+      continue;
+    }
+
+    const double step = std::min(left_on_air, remaining);
+    const double eff = group_live_efficiency(g);
+    const double bitrate_bps = g.current->ladder.kbps(g.rung) * 1e3;
+    const double bits = bitrate_bps * step;
+    g.bits += bits;
+    g.hz_seconds += bits / eff;
+    if (g.rung + 1 < g.current->ladder.rung_count()) {
+      g.compute_cycles += config_.demand.transcode.cycles_per_bit * bits;
+    }
+    g.efficiency_time_integral += eff * step;
+    g.on_air_time += step;
+
+    // Unicast counterfactual: each member still watching would receive a
+    // private stream link-adapted to their own channel.
+    for (std::size_t i = 0; i < g.members.size(); ++i) {
+      if (elapsed >= g.member_watch_s[i]) {
+        continue;  // member already swiped away
+      }
+      const double member_step = std::min(step, g.member_watch_s[i] - elapsed);
+      const double member_eff =
+          std::max(channel_->sample_of(g.members[i]).efficiency_bps_hz,
+                   phy_.min_efficiency_floor());
+      const double budget_kbps =
+          config_.demand.group_bandwidth_budget_hz * member_eff / 1e3;
+      const double member_bitrate_bps =
+          g.current->ladder.kbps(g.current->ladder.best_rung_within(budget_kbps)) * 1e3;
+      g.unicast_hz_seconds += member_bitrate_bps * member_step / member_eff;
+    }
+    t += step;
+    remaining -= step;
+  }
+}
+
+void Simulation::tick(std::vector<behavior::ViewEvent>& events) {
+  const double dt = config_.tick_s;
+  mobility_->advance(dt);
+  channel_->step(mobility_->snapshot());
+
+  if (groups_.empty()) {
+    for (auto& session : warmup_sessions_) {
+      session.advance(now_, dt, events);
+    }
+  } else {
+    for (auto& g : groups_) {
+      advance_group(g, now_, dt, events);
+    }
+  }
+  now_ += dt;
+  collector_->tick(now_, dt, *twins_, *channel_, *mobility_, events);
+  for (const auto& ev : events) {
+    popularity_.observe(ev.video_id, ev.watch_seconds);
+  }
+}
+
+void Simulation::drift_affinities() {
+  const double rate = std::min(config_.affinity_drift_rate, 1.0);
+  for (std::size_t u = 0; u < affinities_.size(); ++u) {
+    const behavior::PreferenceVector target =
+        behavior::sample_affinity(config_.affinity_concentration, playback_rng_);
+    for (std::size_t c = 0; c < affinities_[u].size(); ++c) {
+      affinities_[u][c] = (1.0 - rate) * affinities_[u][c] + rate * target[c];
+    }
+    affinities_[u] = behavior::normalized(affinities_[u]);
+    if (groups_.empty() && u < warmup_sessions_.size()) {
+      warmup_sessions_[u].set_affinity(affinities_[u]);
+    }
+  }
+}
+
+clustering::Points Simulation::build_features(float* reconstruction_loss) {
+  const twin::FeatureScaling scaling{campus_.width(), campus_.height(), 10.0, 40.0};
+  *reconstruction_loss = 0.0f;
+
+  switch (config_.feature_mode) {
+    case FeatureMode::kCnnEmbedding: {
+      const auto windows = twins_->all_feature_windows(
+          now_, config_.feature_window_s, config_.feature_timesteps, scaling);
+      *reconstruction_loss = compressor_->fit(windows);
+      return compressor_->embed(windows);
+    }
+    case FeatureMode::kRawWindow: {
+      const auto windows = twins_->all_feature_windows(
+          now_, config_.feature_window_s, config_.feature_timesteps, scaling);
+      clustering::Points points;
+      points.reserve(windows.size());
+      for (const auto& w : windows) {
+        points.emplace_back(w.begin(), w.end());
+      }
+      return points;
+    }
+    case FeatureMode::kSummaryStats:
+      return twins_->all_summary_features(now_, config_.feature_window_s, scaling);
+  }
+  throw util::PreconditionError("unknown FeatureMode");
+}
+
+void Simulation::rebuild_groups(const clustering::Points& points, EpochReport& report) {
+  std::size_t k = 0;
+  std::vector<std::size_t> assignment;
+  if (config_.k_mode == KSelectionMode::kDdqn) {
+    const auto decision = constructor_->construct(points, cluster_rng_);
+    k = decision.k;
+    assignment = decision.assignment;
+    report.silhouette = decision.silhouette;
+    report.ddqn_epsilon = decision.epsilon;
+  } else {
+    k = baseline_selector_->select_k(points, cluster_rng_);
+    k = std::clamp<std::size_t>(k, 1, points.size());
+    const auto result = clustering::k_means(points, k, cluster_rng_,
+                                            config_.grouping.kmeans);
+    assignment = result.assignment;
+    report.silhouette = clustering::silhouette(points, assignment);
+  }
+  report.k = k;
+
+  groups_.clear();
+  for (std::size_t g = 0; g < k; ++g) {
+    Group group(config_.swiping_bins, config_.swiping_forgetting);
+    for (std::size_t u = 0; u < assignment.size(); ++u) {
+      if (assignment[u] == g) {
+        group.members.push_back(u);
+      }
+    }
+    if (group.members.empty()) {
+      continue;  // K-means re-seeding should prevent this, but stay safe
+    }
+
+    std::vector<const twin::UserDigitalTwin*> member_twins;
+    member_twins.reserve(group.members.size());
+    for (const std::size_t u : group.members) {
+      member_twins.push_back(&twins_->twin(u));
+    }
+
+    group.swiping =
+        analysis::build_group_swiping(member_twins, now_, config_.feature_window_s,
+                                      config_.swiping_bins, config_.swiping_forgetting);
+    group.preference = analysis::aggregate_group_preference(member_twins);
+    group.recommendation =
+        analysis::recommend(catalog_, popularity_, group.preference,
+                            config_.recommender);
+    predict::GroupChannelForecast channel_forecast;
+    if (config_.joint_group_efficiency) {
+      channel_forecast = predict::forecast_group_channel(
+          member_twins, now_, config_.feature_window_s,
+          config_.demand.efficiency_floor);
+    } else {
+      channel_forecast.efficiency = predict::predict_group_efficiency(
+          member_twins, *channel_predictor_, now_, config_.feature_window_s,
+          config_.demand.efficiency_floor);
+      channel_forecast.min_series = {channel_forecast.efficiency};
+    }
+    group.predicted_efficiency = channel_forecast.efficiency;
+    group.predicted = predict::predict_group_demand(
+        group.members.size(), group.preference, group.swiping, channel_forecast,
+        group.recommendation.per_category_counts, content_, config_.demand);
+    if (config_.online_bias_correction) {
+      if (radio_bias_.has_value()) {
+        const double f = std::clamp(radio_bias_.value(), 0.7, 1.3);
+        group.predicted.radio_hz *= f;
+        group.predicted.transmitted_bits *= f;
+      }
+      if (compute_bias_.has_value()) {
+        group.predicted.compute_cycles *=
+            std::clamp(compute_bias_.value(), 0.5, 1.5);
+      }
+    }
+    groups_.push_back(std::move(group));
+  }
+}
+
+EpochReport Simulation::run_interval() {
+  EpochReport report;
+  report.interval = interval_;
+  report.grouped = !groups_.empty();
+
+  const double interval_end =
+      static_cast<double>(interval_ + 1) * config_.interval_s;
+  std::vector<behavior::ViewEvent> events;
+  while (now_ < interval_end - 1e-9) {
+    events.clear();
+    tick(events);
+  }
+
+  // Score the predictions made at the start of this interval.
+  if (report.grouped) {
+    report.has_prediction = true;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      const Group& grp = groups_[g];
+      GroupReport gr;
+      gr.group_id = g;
+      gr.size = grp.members.size();
+      gr.rung = grp.rung;
+      gr.predicted_efficiency = grp.predicted_efficiency;
+      gr.realized_efficiency =
+          grp.on_air_time > 0.0 ? grp.efficiency_time_integral / grp.on_air_time : 0.0;
+      gr.predicted_radio_hz = grp.predicted.radio_hz;
+      gr.actual_radio_hz = grp.hz_seconds / config_.interval_s;
+      gr.predicted_compute_cycles = grp.predicted.compute_cycles;
+      gr.actual_compute_cycles = grp.compute_cycles;
+      gr.unicast_radio_hz = grp.unicast_hz_seconds / config_.interval_s;
+      gr.videos_played = grp.videos_played;
+      report.groups.push_back(gr);
+
+      report.predicted_radio_hz_total += gr.predicted_radio_hz;
+      report.actual_radio_hz_total += gr.actual_radio_hz;
+      report.predicted_compute_total += gr.predicted_compute_cycles;
+      report.actual_compute_total += gr.actual_compute_cycles;
+      report.unicast_radio_hz_total += gr.unicast_radio_hz;
+    }
+    if (report.actual_radio_hz_total > 0.0) {
+      report.radio_error =
+          std::abs(report.predicted_radio_hz_total - report.actual_radio_hz_total) /
+          report.actual_radio_hz_total;
+    }
+    if (report.actual_compute_total > 0.0) {
+      report.compute_error =
+          std::abs(report.predicted_compute_total - report.actual_compute_total) /
+          report.actual_compute_total;
+    }
+    if (constructor_) {
+      constructor_->report_outcome(report.radio_error);
+    }
+    // Online residual calibration: remember how far off this interval's
+    // forecast was so the next one can be rescaled.
+    if (config_.online_bias_correction) {
+      if (report.predicted_radio_hz_total > 0.0 && report.actual_radio_hz_total > 0.0) {
+        radio_bias_.add(std::clamp(
+            report.actual_radio_hz_total / report.predicted_radio_hz_total, 0.5, 2.0));
+      }
+      if (report.predicted_compute_total > 0.0 && report.actual_compute_total > 0.0) {
+        compute_bias_.add(std::clamp(
+            report.actual_compute_total / report.predicted_compute_total, 0.5, 2.0));
+      }
+    }
+  }
+
+  // Interval housekeeping.
+  twins_->decay_preferences();
+  popularity_.decay();
+  if (config_.affinity_drift_rate > 0.0) {
+    drift_affinities();
+  }
+
+  // Re-cluster and predict for the next interval once warm-up is over.
+  if (interval_ + 1 >= static_cast<util::IntervalId>(config_.warmup_intervals)) {
+    float rec_loss = 0.0f;
+    const clustering::Points points = build_features(&rec_loss);
+    report.reconstruction_loss = rec_loss;
+    rebuild_groups(points, report);
+  }
+
+  ++interval_;
+  return report;
+}
+
+void Simulation::save_models(std::ostream& os) const {
+  DTMSV_EXPECTS_MSG(compressor_ != nullptr || constructor_ != nullptr,
+                    "save_models: no learned models in this configuration");
+  os << (compressor_ ? 1 : 0) << ' ' << (constructor_ ? 1 : 0) << '\n';
+  if (compressor_) {
+    nn::save_parameters(compressor_->encoder(), os);
+    nn::save_parameters(compressor_->decoder(), os);
+  }
+  if (constructor_) {
+    nn::save_parameters(constructor_->agent().online_network(), os);
+  }
+}
+
+void Simulation::load_models(std::istream& is) {
+  int has_compressor = 0;
+  int has_constructor = 0;
+  is >> has_compressor >> has_constructor;
+  if (!is) {
+    throw util::RuntimeError("load_models: malformed header");
+  }
+  if ((has_compressor != 0) != (compressor_ != nullptr) ||
+      (has_constructor != 0) != (constructor_ != nullptr)) {
+    throw util::RuntimeError(
+        "load_models: saved models do not match this configuration");
+  }
+  if (compressor_) {
+    nn::load_parameters(compressor_->encoder(), is);
+    nn::load_parameters(compressor_->decoder(), is);
+  }
+  if (constructor_) {
+    nn::load_parameters(constructor_->agent().online_network(), is);
+    nn::copy_parameters(constructor_->agent().online_network(),
+                        constructor_->agent().target_network());
+  }
+}
+
+std::vector<EpochReport> Simulation::run(std::size_t n) {
+  std::vector<EpochReport> reports;
+  reports.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reports.push_back(run_interval());
+  }
+  return reports;
+}
+
+}  // namespace dtmsv::core

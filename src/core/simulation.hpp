@@ -1,0 +1,262 @@
+// End-to-end simulation of the paper's scheme over resource reservation
+// intervals:
+//
+//   tick loop (1 s): mobility -> channel -> viewing (individual sessions
+//     during warm-up, group-feed multicast playback after) -> UDT collection
+//   interval end:    realized demand vs. the prediction made one interval
+//     earlier -> 1D-CNN compression of UDT windows -> DDQN+K-means++
+//     grouping -> per-group swiping distribution, preference aggregation,
+//     recommendation -> radio & computing demand prediction for the next
+//     interval.
+//
+// Ground truth and prediction share the same structural model but diverge
+// through what the twin actually observed (collection loss/latency/windows)
+// versus what the users actually did — the gap the paper's accuracy
+// number measures.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analysis/popularity.hpp"
+#include "analysis/recommend.hpp"
+#include "analysis/swiping.hpp"
+#include "behavior/session.hpp"
+#include "clustering/selectors.hpp"
+#include "core/feature_compressor.hpp"
+#include "core/group_constructor.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "predict/channel_predictor.hpp"
+#include "predict/demand.hpp"
+#include "twin/collector.hpp"
+#include "twin/store.hpp"
+#include "util/stats.hpp"
+#include "wireless/channel.hpp"
+#include "wireless/multicast.hpp"
+
+namespace dtmsv::core {
+
+/// How per-user features for clustering are produced (ablation ABL-CMP).
+enum class FeatureMode {
+  kCnnEmbedding,  // paper: 1D-CNN autoencoder bottleneck
+  kRawWindow,     // flattened raw window, no compression
+  kSummaryStats,  // hand-rolled summary statistics
+};
+
+/// How the grouping number K is chosen (ablation ABL-CLU).
+enum class KSelectionMode {
+  kDdqn,             // paper: DDQN-empowered
+  kFixed,            // fixed K
+  kElbow,            // elbow heuristic sweep
+  kRandom,           // random K
+  kSilhouetteSweep,  // slow silhouette oracle
+};
+
+/// Which per-user channel predictor feeds group efficiency forecasts.
+enum class ChannelPredictorKind { kLastValue, kEwma, kLinearTrend, kMean };
+
+/// Full scheme configuration (defaults reproduce the paper's setup).
+struct SchemeConfig {
+  std::uint64_t seed = 42;
+  std::size_t user_count = 120;
+  double interval_s = 300.0;  // paper: 5-minute reservation interval
+  double tick_s = 1.0;
+  std::size_t warmup_intervals = 2;
+  double feature_window_s = 600.0;
+  std::size_t feature_timesteps = 32;
+  double affinity_concentration = 0.35;
+
+  behavior::SessionConfig session{};
+  mobility::MobilityConfig mobility{};
+  wireless::RadioConfig radio{};
+  twin::CollectionPolicy collection{};
+  CompressorConfig compressor{};
+  GroupConstructorConfig grouping{};
+  predict::DemandModelConfig demand{};
+  analysis::RecommenderConfig recommender{};
+
+  std::size_t swiping_bins = 20;
+  double swiping_forgetting = 0.7;
+  double popularity_forgetting = 0.8;
+
+  /// Per-interval taste drift: each user's ground-truth affinity moves this
+  /// fraction of the way toward a freshly drawn taste vector every interval
+  /// (0 = static users, the paper's implicit setting). Exercises the twin's
+  /// preference tracking under non-stationary behaviour.
+  double affinity_drift_rate = 0.0;
+
+  FeatureMode feature_mode = FeatureMode::kCnnEmbedding;
+  KSelectionMode k_mode = KSelectionMode::kDdqn;
+  std::size_t fixed_k = 4;
+  ChannelPredictorKind channel_predictor = ChannelPredictorKind::kEwma;
+  /// Forecast group efficiency from the joint min-over-members series
+  /// (harmonic mean; unbiased for the multicast accounting). When false,
+  /// falls back to min over per-member forecasts (optimistically biased —
+  /// kept for the ablation bench).
+  bool joint_group_efficiency = true;
+  /// Online residual calibration: the digital twin feeds the realized
+  /// actual/predicted ratio back into the next interval's forecast (EWMA,
+  /// clamped). Corrects the small structural biases a closed-form demand
+  /// model cannot see (heterogeneous-member max-watch, rung/efficiency
+  /// covariance during fades).
+  bool online_bias_correction = true;
+};
+
+/// Per-group slice of an interval report.
+struct GroupReport {
+  std::size_t group_id = 0;
+  std::size_t size = 0;
+  std::size_t rung = 0;
+  double predicted_efficiency = 0.0;
+  double realized_efficiency = 0.0;
+  double predicted_radio_hz = 0.0;
+  double actual_radio_hz = 0.0;
+  double predicted_compute_cycles = 0.0;
+  double actual_compute_cycles = 0.0;
+  /// Counterfactual: bandwidth the same viewing would have cost had every
+  /// member received a private unicast stream at their own link adaptation
+  /// (the paper's motivation for multicast).
+  double unicast_radio_hz = 0.0;
+  std::size_t videos_played = 0;
+};
+
+/// One interval's outcome.
+struct EpochReport {
+  util::IntervalId interval = 0;
+  bool grouped = false;           // groups were active during this interval
+  bool has_prediction = false;    // predictions existed for this interval
+  std::size_t k = 0;              // grouping chosen *for the next* interval
+  double silhouette = 0.0;
+  double ddqn_epsilon = 0.0;
+  double reconstruction_loss = 0.0;
+  std::vector<GroupReport> groups;
+  double predicted_radio_hz_total = 0.0;
+  double actual_radio_hz_total = 0.0;
+  double predicted_compute_total = 0.0;
+  double actual_compute_total = 0.0;
+  double unicast_radio_hz_total = 0.0;
+  /// |pred − actual| / actual on the radio total (0 when undefined).
+  double radio_error = 0.0;
+  double compute_error = 0.0;
+};
+
+/// The full scheme + environment.
+class Simulation {
+ public:
+  explicit Simulation(const SchemeConfig& config);
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Advances one reservation interval and returns its report.
+  EpochReport run_interval();
+
+  /// Runs `n` intervals, returning all reports.
+  std::vector<EpochReport> run(std::size_t n);
+
+  // --- observability for benches, examples and tests ---
+  const SchemeConfig& config() const { return config_; }
+  util::SimTime now() const { return now_; }
+  const video::Catalog& catalog() const { return catalog_; }
+  const twin::TwinStore& twins() const { return *twins_; }
+  const twin::CollectorStats& collector_stats() const;
+
+  std::size_t group_count() const { return groups_.size(); }
+  const std::vector<std::size_t>& group_members(std::size_t g) const;
+  const analysis::SwipingDistribution& group_swiping(std::size_t g) const;
+  const behavior::PreferenceVector& group_preference(std::size_t g) const;
+  const analysis::Recommendation& group_recommendation(std::size_t g) const;
+
+  /// Index of the active group with the highest preference weight for the
+  /// given category (the paper reports "multicast group 1", its most
+  /// News-leaning group). Requires group_count() > 0.
+  std::size_t most_preferring_group(video::Category category) const;
+
+  /// Ground-truth user affinities (for clustering-quality evaluation).
+  const std::vector<behavior::PreferenceVector>& true_affinities() const {
+    return affinities_;
+  }
+
+  /// Persists the learned models (1D-CNN encoder+decoder and, when the
+  /// DDQN selector is active, its online Q-network) so a trained scheme can
+  /// be redeployed without retraining. Models must exist for the current
+  /// configuration (CNN feature mode and/or DDQN K mode).
+  void save_models(std::ostream& os) const;
+  /// Loads models saved by save_models into a simulation with the same
+  /// feature/K configuration; throws util::RuntimeError on layout mismatch.
+  void load_models(std::istream& is);
+
+ private:
+  struct Group {
+    std::vector<std::size_t> members;
+    behavior::PreferenceVector preference{};
+    analysis::Recommendation recommendation;
+    analysis::SwipingDistribution swiping;
+    predict::ResourceDemand predicted;
+    double predicted_efficiency = 0.0;
+
+    // Playback state.
+    std::size_t playlist_pos = 0;
+    const video::Video* current = nullptr;
+    util::SimTime video_started = 0.0;
+    double on_air_s = 0.0;
+    double gap_remaining_s = 0.0;
+    std::vector<double> member_watch_s;
+    std::size_t rung = 0;
+    bool events_emitted = false;
+
+    // Per-interval accounting.
+    double bits = 0.0;
+    double hz_seconds = 0.0;
+    double compute_cycles = 0.0;
+    double unicast_hz_seconds = 0.0;  // per-member private-stream counterfactual
+    double efficiency_time_integral = 0.0;  // for mean realized efficiency
+    double on_air_time = 0.0;
+    std::size_t videos_played = 0;
+
+    explicit Group(std::size_t swiping_bins, double swiping_forgetting)
+        : swiping(swiping_bins, swiping_forgetting) {}
+  };
+
+  void tick(std::vector<behavior::ViewEvent>& events);
+  void drift_affinities();
+  double group_live_efficiency(const Group& g) const;
+  void start_group_video(Group& g, util::SimTime at);
+  void advance_group(Group& g, util::SimTime from, double dt,
+                     std::vector<behavior::ViewEvent>& events);
+  clustering::Points build_features(float* reconstruction_loss);
+  void rebuild_groups(const clustering::Points& points, EpochReport& report);
+
+  SchemeConfig config_;
+  util::Rng rng_;
+  mobility::CampusMap campus_;
+  video::Catalog catalog_;
+  predict::ContentStats content_;
+
+  std::unique_ptr<mobility::MobilityField> mobility_;
+  std::unique_ptr<wireless::ChannelModel> channel_;
+  std::unique_ptr<twin::TwinStore> twins_;
+  std::unique_ptr<twin::StatusCollector> collector_;
+  std::vector<behavior::PreferenceVector> affinities_;
+  std::vector<behavior::ViewingSession> warmup_sessions_;
+  analysis::PopularityAnalyzer popularity_;
+
+  std::unique_ptr<FeatureCompressor> compressor_;
+  std::unique_ptr<GroupConstructor> constructor_;
+  std::unique_ptr<clustering::KSelector> baseline_selector_;
+  std::unique_ptr<predict::EfficiencyPredictor> channel_predictor_;
+  wireless::MulticastPhy phy_;
+
+  std::vector<Group> groups_;
+  util::SimTime now_ = 0.0;
+  util::IntervalId interval_ = 0;
+  util::Rng playback_rng_;
+  util::Rng cluster_rng_;
+  util::Ewma radio_bias_{0.3};    // EWMA of actual/predicted radio ratio
+  util::Ewma compute_bias_{0.3};  // EWMA of actual/predicted compute ratio
+};
+
+}  // namespace dtmsv::core

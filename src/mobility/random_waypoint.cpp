@@ -1,0 +1,109 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dtmsv::mobility {
+
+Walker::Walker(const CampusMap& map, const MobilityConfig& config, util::Rng rng)
+    : map_(&map), config_(config), rng_(std::move(rng)) {
+  DTMSV_EXPECTS(config.min_speed_mps > 0.0);
+  DTMSV_EXPECTS(config.max_speed_mps >= config.min_speed_mps);
+  DTMSV_EXPECTS(config.min_pause_s >= 0.0);
+  DTMSV_EXPECTS(config.max_pause_s >= config.min_pause_s);
+
+  // Spawn near a random waypoint with a small offset so users do not stack.
+  current_waypoint_ = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(map.waypoint_count()) - 1));
+  const Position& wp = map.waypoint(current_waypoint_).position;
+  position_ = {wp.x + rng_.normal(0.0, 15.0), wp.y + rng_.normal(0.0, 15.0)};
+  choose_new_destination();
+}
+
+void Walker::choose_new_destination() {
+  speed_ = rng_.uniform(config_.min_speed_mps, config_.max_speed_mps);
+  const auto n = static_cast<std::int64_t>(map_->waypoint_count());
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto dest = static_cast<std::size_t>(rng_.uniform_int(0, n - 1));
+    if (dest == current_waypoint_) {
+      continue;
+    }
+    auto path = map_->shortest_path(current_waypoint_, dest);
+    if (path.size() >= 2) {
+      path_.assign(path.begin() + 1, path.end());  // skip the current node
+      return;
+    }
+  }
+  // Degenerate map (single node / disconnected): stay put and retry later.
+  path_.clear();
+  pause_remaining_ = 1.0;
+}
+
+void Walker::advance(double dt) {
+  DTMSV_EXPECTS(dt > 0.0);
+  double remaining = dt;
+  while (remaining > 0.0) {
+    if (pause_remaining_ > 0.0) {
+      const double pause = std::min(pause_remaining_, remaining);
+      pause_remaining_ -= pause;
+      remaining -= pause;
+      continue;
+    }
+    if (path_.empty()) {
+      choose_new_destination();
+      if (path_.empty()) {
+        return;  // nowhere to go this tick
+      }
+      continue;
+    }
+    const Position target = map_->waypoint(path_.front()).position;
+    const double dist_to_target = distance(position_, target);
+    const double step = speed_ * remaining;
+    if (step < dist_to_target) {
+      const double frac = step / dist_to_target;
+      position_.x += (target.x - position_.x) * frac;
+      position_.y += (target.y - position_.y) * frac;
+      return;
+    }
+    // Reached the waypoint; consume the travel time and continue.
+    remaining -= dist_to_target / speed_;
+    position_ = target;
+    current_waypoint_ = path_.front();
+    path_.erase(path_.begin());
+    if (path_.empty()) {
+      pause_remaining_ = rng_.uniform(config_.min_pause_s, config_.max_pause_s);
+    }
+  }
+}
+
+MobilityField::MobilityField(const CampusMap& map, const MobilityConfig& config,
+                             std::size_t user_count, util::Rng& rng) {
+  DTMSV_EXPECTS(user_count > 0);
+  walkers_.reserve(user_count);
+  for (std::size_t i = 0; i < user_count; ++i) {
+    walkers_.emplace_back(map, config, rng.fork(i));
+  }
+}
+
+void MobilityField::advance(double dt) {
+  for (auto& w : walkers_) {
+    w.advance(dt);
+  }
+}
+
+const Position& MobilityField::position_of(std::size_t user) const {
+  DTMSV_EXPECTS(user < walkers_.size());
+  return walkers_[user].position();
+}
+
+std::vector<Position> MobilityField::snapshot() const {
+  std::vector<Position> out;
+  out.reserve(walkers_.size());
+  for (const auto& w : walkers_) {
+    out.push_back(w.position());
+  }
+  return out;
+}
+
+}  // namespace dtmsv::mobility

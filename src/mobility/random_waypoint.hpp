@@ -1,0 +1,67 @@
+// Per-user mobility: random-waypoint movement over the campus graph.
+// Each user walks shortest paths between randomly chosen waypoints at a
+// personal speed, pausing at destinations — producing the "different
+// trajectories" the paper simulates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mobility/campus_map.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace dtmsv::mobility {
+
+/// Mobility parameters.
+struct MobilityConfig {
+  double min_speed_mps = 0.8;   // slow stroll
+  double max_speed_mps = 2.0;   // brisk walk
+  double min_pause_s = 0.0;
+  double max_pause_s = 120.0;   // lingering at a destination
+};
+
+/// One user's continuous trajectory over the campus graph.
+class Walker {
+ public:
+  /// Starts at a random position snapped near a random waypoint.
+  Walker(const CampusMap& map, const MobilityConfig& config, util::Rng rng);
+
+  /// Advances the walker by `dt` seconds (> 0).
+  void advance(double dt);
+
+  const Position& position() const { return position_; }
+  double speed_mps() const { return speed_; }
+  /// True while paused at a destination.
+  bool paused() const { return pause_remaining_ > 0.0; }
+
+ private:
+  void choose_new_destination();
+
+  const CampusMap* map_;
+  MobilityConfig config_;
+  util::Rng rng_;
+  Position position_;
+  double speed_ = 1.0;
+  double pause_remaining_ = 0.0;
+  std::vector<std::size_t> path_;  // remaining waypoints, front = next
+  std::size_t current_waypoint_ = 0;
+};
+
+/// Convenience: a population of walkers advanced in lock-step.
+class MobilityField {
+ public:
+  MobilityField(const CampusMap& map, const MobilityConfig& config,
+                std::size_t user_count, util::Rng& rng);
+
+  void advance(double dt);
+
+  std::size_t user_count() const { return walkers_.size(); }
+  const Position& position_of(std::size_t user) const;
+  std::vector<Position> snapshot() const;
+
+ private:
+  std::vector<Walker> walkers_;
+};
+
+}  // namespace dtmsv::mobility

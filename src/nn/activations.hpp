@@ -1,0 +1,41 @@
+// Elementwise activation layers (shape preserving).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace dtmsv::nn {
+
+/// Rectified linear unit: max(0, x).
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+/// Hyperbolic tangent.
+class Tanh final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;
+};
+
+/// Logistic sigmoid.
+class Sigmoid final : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Tensor output_;
+};
+
+}  // namespace dtmsv::nn

@@ -1,0 +1,96 @@
+#include "nn/conv1d.hpp"
+
+#include "nn/init.hpp"
+
+namespace dtmsv::nn {
+
+Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
+               util::Rng& rng, std::size_t stride, std::size_t padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      padding_(padding),
+      w_({out_channels, in_channels, kernel}),
+      b_({out_channels}),
+      w_grad_({out_channels, in_channels, kernel}),
+      b_grad_({out_channels}) {
+  DTMSV_EXPECTS(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0);
+  xavier_uniform(w_, in_channels * kernel, out_channels * kernel, rng);
+}
+
+std::size_t Conv1D::output_length(std::size_t input_length) const {
+  const std::size_t padded = input_length + 2 * padding_;
+  DTMSV_EXPECTS_MSG(padded >= kernel_, "Conv1D: input shorter than kernel");
+  return (padded - kernel_) / stride_ + 1;
+}
+
+Tensor Conv1D::forward(const Tensor& input) {
+  DTMSV_EXPECTS_MSG(input.rank() == 3 && input.dim(1) == in_channels_,
+                    "Conv1D: input must be [N, in_channels, L]");
+  input_ = input;
+  const std::size_t n = input.dim(0);
+  const std::size_t len = input.dim(2);
+  const std::size_t out_len = output_length(len);
+
+  Tensor out({n, out_channels_, out_len});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      for (std::size_t t = 0; t < out_len; ++t) {
+        float acc = b_[f];
+        for (std::size_t c = 0; c < in_channels_; ++c) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            // Position in the zero-padded input.
+            const std::size_t pos = t * stride_ + k;
+            if (pos < padding_ || pos >= padding_ + len) {
+              continue;
+            }
+            acc += w_.at3(f, c, k) * input.at3(b, c, pos - padding_);
+          }
+        }
+        out.at3(b, f, t) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1D::backward(const Tensor& grad_output) {
+  DTMSV_EXPECTS_MSG(!input_.empty(), "Conv1D: backward before forward");
+  const std::size_t n = input_.dim(0);
+  const std::size_t len = input_.dim(2);
+  const std::size_t out_len = output_length(len);
+  DTMSV_EXPECTS(grad_output.rank() == 3 && grad_output.dim(0) == n &&
+                grad_output.dim(1) == out_channels_ && grad_output.dim(2) == out_len);
+
+  Tensor grad_input({n, in_channels_, len});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      for (std::size_t t = 0; t < out_len; ++t) {
+        const float g = grad_output.at3(b, f, t);
+        if (g == 0.0f) {
+          continue;
+        }
+        b_grad_[f] += g;
+        for (std::size_t c = 0; c < in_channels_; ++c) {
+          for (std::size_t k = 0; k < kernel_; ++k) {
+            const std::size_t pos = t * stride_ + k;
+            if (pos < padding_ || pos >= padding_ + len) {
+              continue;
+            }
+            const std::size_t x_pos = pos - padding_;
+            w_grad_.at3(f, c, k) += g * input_.at3(b, c, x_pos);
+            grad_input.at3(b, c, x_pos) += g * w_.at3(f, c, k);
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<ParamRef> Conv1D::parameters() {
+  return {{&w_, &w_grad_, "weight"}, {&b_, &b_grad_, "bias"}};
+}
+
+}  // namespace dtmsv::nn

@@ -1,0 +1,65 @@
+#include "nn/gradient_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dtmsv::nn {
+
+namespace {
+double relative_error(double analytic, double numeric) {
+  const double denom = std::max({std::abs(analytic), std::abs(numeric), 1e-4});
+  return std::abs(analytic - numeric) / denom;
+}
+}  // namespace
+
+GradientCheckResult check_gradients(Layer& layer, const Tensor& input,
+                                    const std::function<float(const Tensor&)>& loss,
+                                    const std::function<Tensor(const Tensor&)>& loss_grad,
+                                    float epsilon) {
+  GradientCheckResult result;
+
+  // Analytic pass.
+  layer.zero_grad();
+  const Tensor out = layer.forward(input);
+  const Tensor grad_out = loss_grad(out);
+  const Tensor grad_in = layer.backward(grad_out);
+
+  // Parameter gradients vs central differences.
+  for (auto& p : layer.parameters()) {
+    auto values = p.value->data();
+    const auto grads = p.grad->data();
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const float saved = values[i];
+      values[i] = saved + epsilon;
+      const float plus = loss(layer.forward(input));
+      values[i] = saved - epsilon;
+      const float minus = loss(layer.forward(input));
+      values[i] = saved;
+      const double numeric = (static_cast<double>(plus) - minus) / (2.0 * epsilon);
+      result.max_param_error =
+          std::max(result.max_param_error, relative_error(grads[i], numeric));
+    }
+  }
+
+  // Input gradients vs central differences.
+  Tensor x = input;
+  auto xdata = x.data();
+  const auto gi = grad_in.data();
+  for (std::size_t i = 0; i < xdata.size(); ++i) {
+    const float saved = xdata[i];
+    xdata[i] = saved + epsilon;
+    const float plus = loss(layer.forward(x));
+    xdata[i] = saved - epsilon;
+    const float minus = loss(layer.forward(x));
+    xdata[i] = saved;
+    const double numeric = (static_cast<double>(plus) - minus) / (2.0 * epsilon);
+    result.max_input_error =
+        std::max(result.max_input_error, relative_error(gi[i], numeric));
+  }
+
+  // Restore cached activations to the unperturbed input.
+  (void)layer.forward(input);
+  return result;
+}
+
+}  // namespace dtmsv::nn

@@ -1,0 +1,30 @@
+// Finite-difference gradient verification used by the nn test suite to
+// prove every layer's backward pass against its forward pass.
+#pragma once
+
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace dtmsv::nn {
+
+/// Result of a gradient check: worst relative error across all checked
+/// coordinates (parameters and inputs).
+struct GradientCheckResult {
+  double max_param_error = 0.0;
+  double max_input_error = 0.0;
+  bool ok(double tolerance = 1e-2) const {
+    return max_param_error < tolerance && max_input_error < tolerance;
+  }
+};
+
+/// Compares analytic gradients of `scalar_loss(forward(x))` against central
+/// finite differences. `loss` must be deterministic. Perturbation size
+/// `epsilon` trades truncation vs. float rounding error; 1e-2..1e-3 works
+/// for float32.
+GradientCheckResult check_gradients(Layer& layer, const Tensor& input,
+                                    const std::function<float(const Tensor&)>& loss,
+                                    const std::function<Tensor(const Tensor&)>& loss_grad,
+                                    float epsilon = 1e-2f);
+
+}  // namespace dtmsv::nn

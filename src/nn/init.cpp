@@ -1,0 +1,24 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace dtmsv::nn {
+
+void xavier_uniform(Tensor& weights, std::size_t fan_in, std::size_t fan_out,
+                    util::Rng& rng) {
+  DTMSV_EXPECTS(fan_in > 0 && fan_out > 0);
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (float& w : weights.data()) {
+    w = static_cast<float>(rng.uniform(-a, a));
+  }
+}
+
+void kaiming_normal(Tensor& weights, std::size_t fan_in, util::Rng& rng) {
+  DTMSV_EXPECTS(fan_in > 0);
+  const double sigma = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (float& w : weights.data()) {
+    w = static_cast<float>(rng.normal(0.0, sigma));
+  }
+}
+
+}  // namespace dtmsv::nn

@@ -1,0 +1,53 @@
+#include "nn/linear.hpp"
+
+#include "nn/init.hpp"
+
+namespace dtmsv::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      w_({out_features, in_features}),
+      b_({out_features}),
+      w_grad_({out_features, in_features}),
+      b_grad_({out_features}) {
+  DTMSV_EXPECTS(in_features > 0 && out_features > 0);
+  xavier_uniform(w_, in_features, out_features, rng);
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  DTMSV_EXPECTS_MSG(input.rank() == 2 && input.dim(1) == in_features_,
+                    "Linear: input must be [N, in_features]");
+  input_ = input;
+  Tensor out = Tensor::matmul_bt(input, w_);  // [N, out]
+  const std::size_t n = out.dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      out.at2(i, j) += b_[j];
+    }
+  }
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  DTMSV_EXPECTS_MSG(grad_output.rank() == 2 && grad_output.dim(1) == out_features_,
+                    "Linear: grad_output must be [N, out_features]");
+  DTMSV_EXPECTS_MSG(!input_.empty(), "Linear: backward before forward");
+  DTMSV_EXPECTS(grad_output.dim(0) == input_.dim(0));
+
+  // dL/dW = gradᵀ · input ; dL/db = column sums of grad ; dL/dx = grad · W
+  w_grad_ += Tensor::matmul_at(grad_output, input_);
+  const std::size_t n = grad_output.dim(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < out_features_; ++j) {
+      b_grad_[j] += grad_output.at2(i, j);
+    }
+  }
+  return Tensor::matmul(grad_output, w_);
+}
+
+std::vector<ParamRef> Linear::parameters() {
+  return {{&w_, &w_grad_, "weight"}, {&b_, &b_grad_, "bias"}};
+}
+
+}  // namespace dtmsv::nn

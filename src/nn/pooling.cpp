@@ -1,0 +1,123 @@
+#include "nn/pooling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace dtmsv::nn {
+
+MaxPool1D::MaxPool1D(std::size_t window) : window_(window) {
+  DTMSV_EXPECTS(window > 0);
+}
+
+std::size_t MaxPool1D::output_length(std::size_t input_length) const {
+  DTMSV_EXPECTS(input_length > 0);
+  return (input_length + window_ - 1) / window_;
+}
+
+Tensor MaxPool1D::forward(const Tensor& input) {
+  DTMSV_EXPECTS_MSG(input.rank() == 3, "MaxPool1D: input must be [N, C, L]");
+  input_shape_ = input.shape();
+  const std::size_t n = input.dim(0);
+  const std::size_t c = input.dim(1);
+  const std::size_t len = input.dim(2);
+  const std::size_t out_len = output_length(len);
+
+  Tensor out({n, c, out_len});
+  argmax_.assign(n * c * out_len, 0);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t t = 0; t < out_len; ++t) {
+        const std::size_t start = t * window_;
+        const std::size_t stop = std::min(start + window_, len);
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = start;
+        for (std::size_t l = start; l < stop; ++l) {
+          const float v = input.at3(b, ch, l);
+          if (v > best) {
+            best = v;
+            best_idx = l;
+          }
+        }
+        out.at3(b, ch, t) = best;
+        argmax_[(b * c + ch) * out_len + t] = (b * c + ch) * len + best_idx;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool1D::backward(const Tensor& grad_output) {
+  DTMSV_EXPECTS_MSG(!input_shape_.empty(), "MaxPool1D: backward before forward");
+  const std::size_t n = input_shape_[0];
+  const std::size_t c = input_shape_[1];
+  const std::size_t len = input_shape_[2];
+  const std::size_t out_len = output_length(len);
+  DTMSV_EXPECTS(grad_output.rank() == 3 && grad_output.dim(0) == n &&
+                grad_output.dim(1) == c && grad_output.dim(2) == out_len);
+
+  Tensor grad_input(input_shape_);
+  auto gi = grad_input.data();
+  const auto go = grad_output.data();
+  for (std::size_t i = 0; i < go.size(); ++i) {
+    gi[argmax_[i]] += go[i];
+  }
+  return grad_input;
+}
+
+Tensor GlobalAvgPool1D::forward(const Tensor& input) {
+  DTMSV_EXPECTS_MSG(input.rank() == 3, "GlobalAvgPool1D: input must be [N, C, L]");
+  input_shape_ = input.shape();
+  const std::size_t n = input.dim(0);
+  const std::size_t c = input.dim(1);
+  const std::size_t len = input.dim(2);
+
+  Tensor out({n, c});
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float acc = 0.0f;
+      for (std::size_t l = 0; l < len; ++l) {
+        acc += input.at3(b, ch, l);
+      }
+      out.at2(b, ch) = acc / static_cast<float>(len);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool1D::backward(const Tensor& grad_output) {
+  DTMSV_EXPECTS_MSG(!input_shape_.empty(), "GlobalAvgPool1D: backward before forward");
+  const std::size_t n = input_shape_[0];
+  const std::size_t c = input_shape_[1];
+  const std::size_t len = input_shape_[2];
+  DTMSV_EXPECTS(grad_output.rank() == 2 && grad_output.dim(0) == n &&
+                grad_output.dim(1) == c);
+
+  Tensor grad_input(input_shape_);
+  const float scale = 1.0f / static_cast<float>(len);
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_output.at2(b, ch) * scale;
+      for (std::size_t l = 0; l < len; ++l) {
+        grad_input.at3(b, ch, l) = g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor Flatten::forward(const Tensor& input) {
+  DTMSV_EXPECTS_MSG(input.rank() >= 2, "Flatten: input must be batched");
+  input_shape_ = input.shape();
+  std::size_t features = 1;
+  for (std::size_t i = 1; i < input_shape_.size(); ++i) {
+    features *= input_shape_[i];
+  }
+  return input.reshaped({input_shape_[0], features});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  DTMSV_EXPECTS_MSG(!input_shape_.empty(), "Flatten: backward before forward");
+  return grad_output.reshaped(input_shape_);
+}
+
+}  // namespace dtmsv::nn

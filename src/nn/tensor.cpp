@@ -1,0 +1,221 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace dtmsv::nn {
+
+namespace {
+std::size_t element_count(const Shape& shape) {
+  std::size_t n = 1;
+  for (const std::size_t d : shape) {
+    n *= d;
+  }
+  return shape.empty() ? 0 : n;
+}
+}  // namespace
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(element_count(shape_), 0.0f) {
+  for (const std::size_t d : shape_) {
+    DTMSV_EXPECTS_MSG(d > 0, "tensor dimensions must be positive");
+  }
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  DTMSV_EXPECTS_MSG(data_.size() == element_count(shape_),
+                    "value count does not match shape");
+}
+
+Tensor Tensor::from_vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor({n}, std::move(values));
+}
+
+Tensor Tensor::from_rows(std::initializer_list<std::initializer_list<float>> rows) {
+  DTMSV_EXPECTS(rows.size() > 0);
+  const std::size_t cols = rows.begin()->size();
+  std::vector<float> values;
+  values.reserve(rows.size() * cols);
+  for (const auto& row : rows) {
+    DTMSV_EXPECTS_MSG(row.size() == cols, "ragged rows");
+    values.insert(values.end(), row.begin(), row.end());
+  }
+  return Tensor({rows.size(), cols}, std::move(values));
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t axis) const {
+  DTMSV_EXPECTS(axis < shape_.size());
+  return shape_[axis];
+}
+
+float& Tensor::operator[](std::size_t i) {
+  DTMSV_EXPECTS(i < data_.size());
+  return data_[i];
+}
+
+float Tensor::operator[](std::size_t i) const {
+  DTMSV_EXPECTS(i < data_.size());
+  return data_[i];
+}
+
+float& Tensor::at2(std::size_t r, std::size_t c) {
+  DTMSV_EXPECTS(rank() == 2);
+  DTMSV_EXPECTS(r < shape_[0] && c < shape_[1]);
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at2(std::size_t r, std::size_t c) const {
+  return const_cast<Tensor*>(this)->at2(r, c);
+}
+
+float& Tensor::at3(std::size_t n, std::size_t c, std::size_t l) {
+  DTMSV_EXPECTS(rank() == 3);
+  DTMSV_EXPECTS(n < shape_[0] && c < shape_[1] && l < shape_[2]);
+  return data_[(n * shape_[1] + c) * shape_[2] + l];
+}
+
+float Tensor::at3(std::size_t n, std::size_t c, std::size_t l) const {
+  return const_cast<Tensor*>(this)->at3(n, c, l);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  DTMSV_EXPECTS_MSG(element_count(new_shape) == data_.size(),
+                    "reshape must preserve element count");
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  DTMSV_EXPECTS_MSG(same_shape(*this, other), "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  DTMSV_EXPECTS_MSG(same_shape(*this, other), "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] -= other.data_[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) {
+    v *= scalar;
+  }
+  return *this;
+}
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::mean() const {
+  DTMSV_EXPECTS(!data_.empty());
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (const float v : data_) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+Tensor Tensor::matmul(const Tensor& a, const Tensor& b) {
+  DTMSV_EXPECTS(a.rank() == 2 && b.rank() == 2);
+  DTMSV_EXPECTS_MSG(a.dim(1) == b.dim(0), "inner dimensions must agree");
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(1);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = a.data_[i * k + kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = b.data_.data() + kk * n;
+      float* orow = out.data_.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::matmul_bt(const Tensor& a, const Tensor& b) {
+  DTMSV_EXPECTS(a.rank() == 2 && b.rank() == 2);
+  DTMSV_EXPECTS_MSG(a.dim(1) == b.dim(1), "inner dimensions must agree (b transposed)");
+  const std::size_t m = a.dim(0);
+  const std::size_t k = a.dim(1);
+  const std::size_t n = b.dim(0);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a.data_.data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b.data_.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      out.data_[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::matmul_at(const Tensor& a, const Tensor& b) {
+  DTMSV_EXPECTS(a.rank() == 2 && b.rank() == 2);
+  DTMSV_EXPECTS_MSG(a.dim(0) == b.dim(0), "inner dimensions must agree (a transposed)");
+  const std::size_t k = a.dim(0);
+  const std::size_t m = a.dim(1);
+  const std::size_t n = b.dim(1);
+  Tensor out({m, n});
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.data_.data() + kk * m;
+    const float* brow = b.data_.data() + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) {
+        continue;
+      }
+      float* orow = out.data_.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+bool same_shape(const Tensor& a, const Tensor& b) { return a.shape() == b.shape(); }
+
+}  // namespace dtmsv::nn

@@ -1,0 +1,97 @@
+#include "predict/baselines.hpp"
+
+#include <cmath>
+
+namespace dtmsv::predict {
+
+void LastValueSeries::observe(double realized) {
+  last_ = realized;
+  has_ = true;
+}
+
+double LastValueSeries::forecast(double fallback) const {
+  return has_ ? last_ : fallback;
+}
+
+EwmaSeries::EwmaSeries(double alpha) : alpha_(alpha) {
+  DTMSV_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+void EwmaSeries::observe(double realized) {
+  if (!has_) {
+    value_ = realized;
+    has_ = true;
+  } else {
+    value_ = alpha_ * realized + (1.0 - alpha_) * value_;
+  }
+}
+
+double EwmaSeries::forecast(double fallback) const {
+  return has_ ? value_ : fallback;
+}
+
+MovingAverageSeries::MovingAverageSeries(std::size_t window) : window_(window) {
+  DTMSV_EXPECTS(window > 0);
+}
+
+void MovingAverageSeries::observe(double realized) {
+  values_.push_back(realized);
+  if (values_.size() > window_) {
+    values_.pop_front();
+  }
+}
+
+double MovingAverageSeries::forecast(double fallback) const {
+  if (values_.empty()) {
+    return fallback;
+  }
+  double total = 0.0;
+  for (const double v : values_) {
+    total += v;
+  }
+  return total / static_cast<double>(values_.size());
+}
+
+Ar1Series::Ar1Series(std::size_t window) : window_(window) {
+  DTMSV_EXPECTS(window >= 3);
+}
+
+void Ar1Series::observe(double realized) {
+  values_.push_back(realized);
+  if (values_.size() > window_) {
+    values_.pop_front();
+  }
+}
+
+double Ar1Series::forecast(double fallback) const {
+  if (values_.empty()) {
+    return fallback;
+  }
+  if (values_.size() < 3) {
+    return values_.back();
+  }
+  // OLS of x_{t+1} on x_t over the window.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const auto n = static_cast<double>(values_.size() - 1);
+  for (std::size_t i = 0; i + 1 < values_.size(); ++i) {
+    const double x = values_[i];
+    const double y = values_[i + 1];
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    return values_.back();
+  }
+  const double phi = (n * sxy - sx * sy) / denom;
+  const double c = (sy - phi * sx) / n;
+  const double pred = c + phi * values_.back();
+  return pred < 0.0 ? 0.0 : pred;
+}
+
+}  // namespace dtmsv::predict

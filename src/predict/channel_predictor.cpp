@@ -1,0 +1,177 @@
+#include "predict/channel_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dtmsv::predict {
+
+double LastValuePredictor::predict(
+    const twin::AttributeSeries<twin::ChannelObservation>& history, util::SimTime now,
+    double window_s, double fallback) const {
+  const auto window = history.window(now - window_s, now);
+  if (window.empty()) {
+    return fallback;
+  }
+  return std::max(0.0, window.back().value.efficiency_bps_hz);
+}
+
+EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
+  DTMSV_EXPECTS(alpha > 0.0 && alpha <= 1.0);
+}
+
+double EwmaPredictor::predict(
+    const twin::AttributeSeries<twin::ChannelObservation>& history, util::SimTime now,
+    double window_s, double fallback) const {
+  const auto window = history.window(now - window_s, now);
+  if (window.empty()) {
+    return fallback;
+  }
+  double value = window.front().value.efficiency_bps_hz;
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    value = alpha_ * window[i].value.efficiency_bps_hz + (1.0 - alpha_) * value;
+  }
+  return std::max(0.0, value);
+}
+
+LinearTrendPredictor::LinearTrendPredictor(double horizon_s) : horizon_s_(horizon_s) {
+  DTMSV_EXPECTS(horizon_s >= 0.0);
+}
+
+double LinearTrendPredictor::predict(
+    const twin::AttributeSeries<twin::ChannelObservation>& history, util::SimTime now,
+    double window_s, double fallback) const {
+  const auto window = history.window(now - window_s, now);
+  if (window.empty()) {
+    return fallback;
+  }
+  if (window.size() < 3) {
+    return std::max(0.0, window.back().value.efficiency_bps_hz);
+  }
+  // OLS on (t, efficiency), times centred at `now` for conditioning.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  const auto n = static_cast<double>(window.size());
+  for (const auto& s : window) {
+    const double x = s.time - now;
+    const double y = s.value.efficiency_bps_hz;
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    return std::max(0.0, sy / n);
+  }
+  const double slope = (n * sxy - sx * sy) / denom;
+  const double intercept = (sy - slope * sx) / n;
+  return std::max(0.0, intercept + slope * horizon_s_);
+}
+
+double MeanPredictor::predict(
+    const twin::AttributeSeries<twin::ChannelObservation>& history, util::SimTime now,
+    double window_s, double fallback) const {
+  const auto window = history.window(now - window_s, now);
+  if (window.empty()) {
+    return fallback;
+  }
+  double total = 0.0;
+  for (const auto& s : window) {
+    total += s.value.efficiency_bps_hz;
+  }
+  return std::max(0.0, total / static_cast<double>(window.size()));
+}
+
+double predict_group_efficiency(const std::vector<const twin::UserDigitalTwin*>& members,
+                                const EfficiencyPredictor& predictor,
+                                util::SimTime now, double window_s, double floor) {
+  DTMSV_EXPECTS_MSG(!members.empty(), "predict_group_efficiency: empty group");
+  DTMSV_EXPECTS(floor > 0.0);
+  double worst = std::numeric_limits<double>::infinity();
+  for (const auto* member : members) {
+    DTMSV_EXPECTS(member != nullptr);
+    worst = std::min(worst, predictor.predict(member->channel(), now, window_s));
+  }
+  return std::max(worst, floor);
+}
+
+GroupChannelForecast forecast_group_channel(
+    const std::vector<const twin::UserDigitalTwin*>& members, util::SimTime now,
+    double window_s, double floor, double bin_s) {
+  DTMSV_EXPECTS_MSG(!members.empty(), "forecast_group_channel: empty group");
+  DTMSV_EXPECTS(floor > 0.0);
+  DTMSV_EXPECTS(window_s > 0.0 && bin_s > 0.0);
+
+  GroupChannelForecast forecast;
+  forecast.efficiency = floor;
+
+  const auto bins = static_cast<std::size_t>(window_s / bin_s);
+  if (bins == 0) {
+    forecast.min_series.push_back(floor);
+    return forecast;
+  }
+  const util::SimTime from = now - window_s;
+  constexpr double kUnset = std::numeric_limits<double>::infinity();
+
+  // Per-bin minimum efficiency across members (zero-order hold per member).
+  std::vector<double> min_series(bins, kUnset);
+  std::vector<double> member_series(bins);
+  for (const auto* member : members) {
+    DTMSV_EXPECTS(member != nullptr);
+    std::fill(member_series.begin(), member_series.end(), kUnset);
+    for (const auto& s : member->channel()) {
+      if (s.time < from || s.time >= now) {
+        continue;
+      }
+      auto b = static_cast<std::size_t>((s.time - from) / bin_s);
+      b = std::min(b, bins - 1);
+      // Keep the last sample per bin (samples arrive time-ordered).
+      member_series[b] = s.value.efficiency_bps_hz;
+    }
+    // Hold forward through empty bins (report loss / slow collection).
+    double hold = kUnset;
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (member_series[b] != kUnset) {
+        hold = member_series[b];
+      } else if (hold != kUnset) {
+        member_series[b] = hold;
+      }
+    }
+    for (std::size_t b = 0; b < bins; ++b) {
+      if (member_series[b] != kUnset) {
+        min_series[b] = std::min(min_series[b], member_series[b]);
+      }
+    }
+  }
+
+  // Floored, filled bins become the empirical operating-point distribution;
+  // their harmonic mean matches the ∫ bits/eff accounting.
+  double inv_sum = 0.0;
+  for (const double v : min_series) {
+    if (v == kUnset) {
+      continue;
+    }
+    const double floored = std::max(v, floor);
+    forecast.min_series.push_back(floored);
+    inv_sum += 1.0 / floored;
+  }
+  if (forecast.min_series.empty()) {
+    forecast.min_series.push_back(floor);
+    return forecast;
+  }
+  forecast.efficiency = std::max(
+      static_cast<double>(forecast.min_series.size()) / inv_sum, floor);
+  return forecast;
+}
+
+double predict_group_efficiency_joint(
+    const std::vector<const twin::UserDigitalTwin*>& members, util::SimTime now,
+    double window_s, double floor, double bin_s) {
+  return forecast_group_channel(members, now, window_s, floor, bin_s).efficiency;
+}
+
+}  // namespace dtmsv::predict

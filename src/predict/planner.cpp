@@ -1,0 +1,46 @@
+#include "predict/planner.hpp"
+
+#include <algorithm>
+
+namespace dtmsv::predict {
+
+CapacityPlanner::CapacityPlanner(const ReservationPolicy& policy) : policy_(policy) {
+  DTMSV_EXPECTS(policy.headroom >= 0.0);
+  DTMSV_EXPECTS(policy.min_reserved >= 0.0);
+  DTMSV_EXPECTS(policy.max_reserved == 0.0 ||
+                policy.max_reserved >= policy.min_reserved);
+}
+
+double CapacityPlanner::reserve(double predicted) const {
+  DTMSV_EXPECTS(predicted >= 0.0);
+  double reserved = std::max(predicted * (1.0 + policy_.headroom),
+                             policy_.min_reserved);
+  if (policy_.max_reserved > 0.0) {
+    reserved = std::min(reserved, policy_.max_reserved);
+  }
+  return reserved;
+}
+
+void CapacityPlanner::settle(double reserved, double actual) {
+  DTMSV_EXPECTS(reserved >= 0.0);
+  DTMSV_EXPECTS(actual >= 0.0);
+  outcome_.reserved_total += reserved;
+  outcome_.actual_total += actual;
+  if (reserved >= actual) {
+    outcome_.over_total += reserved - actual;
+  } else {
+    outcome_.unmet_total += actual - reserved;
+    ++outcome_.violations;
+  }
+  ++outcome_.intervals;
+}
+
+double CapacityPlanner::step(double predicted, double actual) {
+  const double reserved = reserve(predicted);
+  settle(reserved, actual);
+  return reserved;
+}
+
+void CapacityPlanner::reset() { outcome_ = ReservationOutcome{}; }
+
+}  // namespace dtmsv::predict

@@ -1,0 +1,73 @@
+// Capacity reservation on top of demand prediction — the paper's stated
+// future work ("how to effectively reserve radio and computing resources
+// based on the predicted multicast groups' resource demand"). This module
+// provides the straightforward headroom policy an operator would deploy
+// first, with full outcome accounting so policies can be compared.
+#pragma once
+
+#include <cstddef>
+
+#include "util/error.hpp"
+
+namespace dtmsv::predict {
+
+/// Reservation policy parameters.
+struct ReservationPolicy {
+  /// Multiplicative safety margin on the prediction (0.10 = +10 %).
+  double headroom = 0.10;
+  /// Lower bound on any reservation (control-plane minimum).
+  double min_reserved = 0.0;
+  /// Upper bound (cell capacity); 0 disables the cap.
+  double max_reserved = 0.0;
+};
+
+/// Aggregated provisioning outcome over the settled intervals.
+struct ReservationOutcome {
+  double reserved_total = 0.0;   // Σ reserved
+  double actual_total = 0.0;     // Σ realized demand
+  double over_total = 0.0;       // Σ reserved-but-unused (waste)
+  double unmet_total = 0.0;      // Σ demand beyond the reservation
+  std::size_t intervals = 0;
+  std::size_t violations = 0;    // intervals with any unmet demand
+
+  /// Waste as a fraction of realized demand (0 when nothing realized).
+  double waste_fraction() const {
+    return actual_total > 0.0 ? over_total / actual_total : 0.0;
+  }
+  /// Unmet demand as a fraction of realized demand.
+  double unmet_fraction() const {
+    return actual_total > 0.0 ? unmet_total / actual_total : 0.0;
+  }
+  /// Fraction of intervals that violated the reservation.
+  double violation_rate() const {
+    return intervals > 0
+               ? static_cast<double>(violations) / static_cast<double>(intervals)
+               : 0.0;
+  }
+};
+
+/// Applies a ReservationPolicy interval by interval and accounts outcomes.
+/// Units are caller-defined (Hz, cycles/s, ...) but must be consistent.
+class CapacityPlanner {
+ public:
+  explicit CapacityPlanner(const ReservationPolicy& policy);
+
+  /// Reservation for a predicted demand (>= 0).
+  double reserve(double predicted) const;
+
+  /// Records one interval's outcome: what was reserved vs what realized.
+  void settle(double reserved, double actual);
+
+  /// Convenience: reserve-and-settle in one call; returns the reservation.
+  double step(double predicted, double actual);
+
+  const ReservationOutcome& outcome() const { return outcome_; }
+  const ReservationPolicy& policy() const { return policy_; }
+  void reset();
+
+ private:
+  ReservationPolicy policy_;
+  ReservationOutcome outcome_;
+};
+
+}  // namespace dtmsv::predict

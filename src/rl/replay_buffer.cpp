@@ -1,0 +1,44 @@
+#include "rl/replay_buffer.hpp"
+
+#include "util/error.hpp"
+
+namespace dtmsv::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : storage_(capacity) {
+  DTMSV_EXPECTS(capacity > 0);
+}
+
+void ReplayBuffer::push(Transition t) {
+  storage_[head_] = std::move(t);
+  head_ = (head_ + 1) % storage_.size();
+  if (size_ < storage_.size()) {
+    ++size_;
+  }
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    util::Rng& rng) const {
+  DTMSV_EXPECTS_MSG(size_ > 0, "ReplayBuffer::sample on empty buffer");
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(size_) - 1));
+    out.push_back(&at(idx));
+  }
+  return out;
+}
+
+const Transition& ReplayBuffer::at(std::size_t i) const {
+  DTMSV_EXPECTS(i < size_);
+  // Oldest element sits at head_ when full, else at 0.
+  const std::size_t base = (size_ == storage_.size()) ? head_ : 0;
+  return storage_[(base + i) % storage_.size()];
+}
+
+void ReplayBuffer::clear() {
+  head_ = 0;
+  size_ = 0;
+}
+
+}  // namespace dtmsv::rl

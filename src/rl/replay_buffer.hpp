@@ -1,0 +1,47 @@
+// Uniform experience replay for the DDQN grouping-number policy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dtmsv::rl {
+
+/// One (s, a, r, s', done) experience.
+struct Transition {
+  std::vector<float> state;
+  std::size_t action = 0;
+  float reward = 0.0f;
+  std::vector<float> next_state;
+  bool done = false;
+};
+
+/// Fixed-capacity ring buffer with uniform sampling.
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  /// Inserts a transition, evicting the oldest when full.
+  void push(Transition t);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return storage_.size(); }
+  bool empty() const { return size_ == 0; }
+
+  /// Uniform sample with replacement of `batch` transitions.
+  /// Requires non-empty buffer.
+  std::vector<const Transition*> sample(std::size_t batch, util::Rng& rng) const;
+
+  /// Access by age: 0 = oldest retained transition.
+  const Transition& at(std::size_t i) const;
+
+  void clear();
+
+ private:
+  std::vector<Transition> storage_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+};
+
+}  // namespace dtmsv::rl

@@ -1,0 +1,105 @@
+#include "twin/collector.hpp"
+
+#include "util/error.hpp"
+
+namespace dtmsv::twin {
+
+StatusCollector::StatusCollector(CollectionPolicy policy, std::size_t user_count,
+                                 util::Rng rng)
+    : policy_(policy), rng_(std::move(rng)) {
+  DTMSV_EXPECTS(user_count > 0);
+  DTMSV_EXPECTS(policy.channel_period_s > 0.0);
+  DTMSV_EXPECTS(policy.location_period_s > 0.0);
+  DTMSV_EXPECTS(policy.preference_period_s > 0.0);
+  DTMSV_EXPECTS(policy.report_loss_prob >= 0.0 && policy.report_loss_prob <= 1.0);
+  DTMSV_EXPECTS(policy.latency_s >= 0.0);
+}
+
+bool StatusCollector::due(double& next_due, util::SimTime now, double period) const {
+  if (now + 1e-9 < next_due) {
+    return false;
+  }
+  // Schedule strictly from the previous due time so long ticks cannot drift
+  // the sampling grid.
+  while (next_due <= now + 1e-9) {
+    next_due += period;
+  }
+  return true;
+}
+
+bool StatusCollector::deliver() {
+  if (policy_.report_loss_prob <= 0.0) {
+    return true;
+  }
+  return !rng_.bernoulli(policy_.report_loss_prob);
+}
+
+void StatusCollector::tick(util::SimTime now, double dt, TwinStore& store,
+                           const wireless::ChannelModel& channel,
+                           const mobility::MobilityField& mobility,
+                           const std::vector<behavior::ViewEvent>& events) {
+  DTMSV_EXPECTS(dt > 0.0);
+  DTMSV_EXPECTS(store.user_count() == channel.user_count());
+  DTMSV_EXPECTS(store.user_count() == mobility.user_count());
+
+  // The twin records a report at measurement time + reporting latency; the
+  // window queries therefore see slightly delayed state, as in a real DT.
+  const util::SimTime visible = now + policy_.latency_s;
+
+  if (due(next_channel_, now, policy_.channel_period_s)) {
+    for (std::size_t u = 0; u < store.user_count(); ++u) {
+      if (!deliver()) {
+        ++stats_.dropped_reports;
+        continue;
+      }
+      const auto& s = channel.sample_of(u);
+      store.twin(u).record_channel(
+          visible, {s.snr_db, s.efficiency_bps_hz, s.serving_bs});
+      ++stats_.channel_reports;
+    }
+  }
+
+  if (due(next_location_, now, policy_.location_period_s)) {
+    for (std::size_t u = 0; u < store.user_count(); ++u) {
+      if (!deliver()) {
+        ++stats_.dropped_reports;
+        continue;
+      }
+      store.twin(u).record_location(visible, mobility.position_of(u));
+      ++stats_.location_reports;
+    }
+  }
+
+  // Watch events are event-driven: reported as they complete.
+  for (const auto& ev : events) {
+    if (!deliver()) {
+      ++stats_.dropped_reports;
+      continue;
+    }
+    WatchObservation obs;
+    obs.video_id = ev.video_id;
+    obs.category = ev.category;
+    obs.duration_s = ev.duration_s;
+    obs.watch_seconds = ev.watch_seconds;
+    obs.watch_fraction = ev.watch_fraction;
+    obs.completed = ev.completed;
+    store.twin(ev.user_id).record_watch(ev.start_time + ev.watch_seconds +
+                                            policy_.latency_s,
+                                        std::move(obs));
+    ++stats_.watch_reports;
+  }
+
+  if (due(next_preference_, now, policy_.preference_period_s)) {
+    for (std::size_t u = 0; u < store.user_count(); ++u) {
+      if (!deliver()) {
+        ++stats_.dropped_reports;
+        continue;
+      }
+      auto& twin = store.twin(u);
+      twin.record_preference(visible, twin.preference_estimator().estimate());
+      ++stats_.preference_reports;
+    }
+  }
+}
+
+}  // namespace dtmsv::twin

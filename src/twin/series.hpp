@@ -1,0 +1,91 @@
+// Timestamped attribute series: the storage primitive inside a UDT. Each
+// collected attribute (channel, location, watch events, preference) keeps a
+// bounded history with window queries; different attributes are sampled at
+// different frequencies, as the paper requires ("Different data attributes
+// are collected with different frequencies").
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+namespace dtmsv::twin {
+
+/// A timestamped observation.
+template <typename T>
+struct Stamped {
+  util::SimTime time = 0.0;
+  T value{};
+};
+
+/// Bounded, time-ordered attribute history.
+template <typename T>
+class AttributeSeries {
+ public:
+  /// `capacity`: maximum retained samples (oldest evicted first).
+  explicit AttributeSeries(std::size_t capacity = 1024) : capacity_(capacity) {
+    DTMSV_EXPECTS(capacity > 0);
+  }
+
+  /// Appends a sample; time must be non-decreasing.
+  void record(util::SimTime time, T value) {
+    DTMSV_EXPECTS_MSG(samples_.empty() || time >= samples_.back().time,
+                      "AttributeSeries: timestamps must be non-decreasing");
+    samples_.push_back({time, std::move(value)});
+    if (samples_.size() > capacity_) {
+      samples_.pop_front();
+    }
+  }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Latest sample; requires non-empty.
+  const Stamped<T>& latest() const {
+    DTMSV_EXPECTS(!samples_.empty());
+    return samples_.back();
+  }
+
+  /// Oldest retained sample; requires non-empty.
+  const Stamped<T>& oldest() const {
+    DTMSV_EXPECTS(!samples_.empty());
+    return samples_.front();
+  }
+
+  /// Samples with time in [from, to), oldest first.
+  std::vector<Stamped<T>> window(util::SimTime from, util::SimTime to) const {
+    DTMSV_EXPECTS(from <= to);
+    std::vector<Stamped<T>> out;
+    for (const auto& s : samples_) {
+      if (s.time >= from && s.time < to) {
+        out.push_back(s);
+      }
+    }
+    return out;
+  }
+
+  /// Age of the newest sample relative to `now`; +inf when empty.
+  double staleness(util::SimTime now) const {
+    if (samples_.empty()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    return std::max(0.0, now - samples_.back().time);
+  }
+
+  /// Iteration support (oldest -> newest).
+  auto begin() const { return samples_.begin(); }
+  auto end() const { return samples_.end(); }
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::size_t capacity_;
+  std::deque<Stamped<T>> samples_;
+};
+
+}  // namespace dtmsv::twin

@@ -1,0 +1,52 @@
+#include "twin/store.hpp"
+
+#include "util/error.hpp"
+
+namespace dtmsv::twin {
+
+TwinStore::TwinStore(std::size_t user_count, std::size_t history_capacity) {
+  DTMSV_EXPECTS(user_count > 0);
+  twins_.reserve(user_count);
+  for (std::size_t u = 0; u < user_count; ++u) {
+    twins_.emplace_back(u, history_capacity);
+  }
+}
+
+UserDigitalTwin& TwinStore::twin(std::uint64_t user_id) {
+  DTMSV_EXPECTS(user_id < twins_.size());
+  return twins_[static_cast<std::size_t>(user_id)];
+}
+
+const UserDigitalTwin& TwinStore::twin(std::uint64_t user_id) const {
+  DTMSV_EXPECTS(user_id < twins_.size());
+  return twins_[static_cast<std::size_t>(user_id)];
+}
+
+void TwinStore::decay_preferences() {
+  for (auto& t : twins_) {
+    t.decay_preference();
+  }
+}
+
+std::vector<std::vector<float>> TwinStore::all_feature_windows(
+    util::SimTime now, double window_s, std::size_t timesteps,
+    const FeatureScaling& scaling) const {
+  std::vector<std::vector<float>> out;
+  out.reserve(twins_.size());
+  for (const auto& t : twins_) {
+    out.push_back(t.feature_window(now, window_s, timesteps, scaling));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> TwinStore::all_summary_features(
+    util::SimTime now, double window_s, const FeatureScaling& scaling) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(twins_.size());
+  for (const auto& t : twins_) {
+    out.push_back(t.summary_features(now, window_s, scaling));
+  }
+  return out;
+}
+
+}  // namespace dtmsv::twin

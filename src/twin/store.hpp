@@ -1,0 +1,40 @@
+// TwinStore: the edge server's collection of UDTs ("UDTs are deployed on the
+// edge server to store user status for individual user").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "twin/udt.hpp"
+
+namespace dtmsv::twin {
+
+/// Owns one UserDigitalTwin per user.
+class TwinStore {
+ public:
+  /// Creates `user_count` twins with ids 0..user_count-1.
+  explicit TwinStore(std::size_t user_count, std::size_t history_capacity = 2048);
+
+  std::size_t user_count() const { return twins_.size(); }
+
+  UserDigitalTwin& twin(std::uint64_t user_id);
+  const UserDigitalTwin& twin(std::uint64_t user_id) const;
+
+  /// Applies preference forgetting on every twin (once per interval).
+  void decay_preferences();
+
+  /// Extracts the CNN feature windows of all users, stacked row-major as
+  /// [user][channel*timesteps]; see UserDigitalTwin::feature_window.
+  std::vector<std::vector<float>> all_feature_windows(
+      util::SimTime now, double window_s, std::size_t timesteps,
+      const FeatureScaling& scaling) const;
+
+  /// Extracts summary features of all users.
+  std::vector<std::vector<double>> all_summary_features(
+      util::SimTime now, double window_s, const FeatureScaling& scaling) const;
+
+ private:
+  std::vector<UserDigitalTwin> twins_;
+};
+
+}  // namespace dtmsv::twin

@@ -1,0 +1,103 @@
+// User digital twin (UDT): the edge-hosted mirror of one user's real-time
+// status — channel condition, location, watching duration, and preference —
+// exactly the four attributes the paper's UDTs collect.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "behavior/preference.hpp"
+#include "behavior/session.hpp"
+#include "mobility/campus_map.hpp"
+#include "twin/series.hpp"
+#include "util/clock.hpp"
+
+namespace dtmsv::twin {
+
+/// Channel observation stored in the twin.
+struct ChannelObservation {
+  double snr_db = 0.0;
+  double efficiency_bps_hz = 0.0;
+  std::size_t serving_bs = 0;
+};
+
+/// Watch observation: one finished view.
+struct WatchObservation {
+  std::uint64_t video_id = 0;
+  video::Category category = video::Category::kNews;
+  double duration_s = 0.0;
+  double watch_seconds = 0.0;
+  double watch_fraction = 0.0;
+  bool completed = false;
+};
+
+/// Normalisation constants for feature extraction (so embeddings are
+/// scale-free regardless of campus size or SNR range).
+struct FeatureScaling {
+  double pos_x_scale = 1200.0;  // campus width in metres
+  double pos_y_scale = 1000.0;  // campus height
+  double snr_offset_db = 10.0;  // maps snr -10 dB -> 0
+  double snr_scale_db = 40.0;   // maps snr  30 dB -> 1
+};
+
+/// Per-user digital twin.
+class UserDigitalTwin {
+ public:
+  /// `history_capacity`: retained samples per attribute series.
+  explicit UserDigitalTwin(std::uint64_t user_id, std::size_t history_capacity = 2048);
+
+  std::uint64_t user_id() const { return user_id_; }
+
+  /// Ingestion (called by the BS-side collector).
+  void record_channel(util::SimTime t, ChannelObservation obs);
+  void record_location(util::SimTime t, mobility::Position pos);
+  void record_watch(util::SimTime t, WatchObservation obs);
+  void record_preference(util::SimTime t, behavior::PreferenceVector estimate);
+
+  const AttributeSeries<ChannelObservation>& channel() const { return channel_; }
+  const AttributeSeries<mobility::Position>& location() const { return location_; }
+  const AttributeSeries<WatchObservation>& watch() const { return watch_; }
+  const AttributeSeries<behavior::PreferenceVector>& preference() const {
+    return preference_;
+  }
+
+  /// Running preference estimator fed by watch ingestion (the twin-side
+  /// "preference label + engagement time" update).
+  const behavior::PreferenceEstimator& preference_estimator() const {
+    return pref_estimator_;
+  }
+  /// Applies interval forgetting to the preference estimator.
+  void decay_preference();
+
+  /// Number of feature channels produced by feature_window().
+  static constexpr std::size_t kFeatureChannels = 5 + video::kCategoryCount;
+
+  /// Builds the [kFeatureChannels × timesteps] time-series feature window
+  /// ending at `now` and spanning `window_s` seconds, resampled to
+  /// `timesteps` uniform bins (row-major: channel-major order, the layout
+  /// the 1D-CNN consumes). Channels:
+  ///   0: normalised SNR            1: spectral efficiency / 6
+  ///   2: normalised x              3: normalised y
+  ///   4: mean watch fraction       5..: preference weight per category
+  /// Empty bins carry the previous bin's value (zero-order hold; zeros
+  /// before the first sample).
+  std::vector<float> feature_window(util::SimTime now, double window_s,
+                                    std::size_t timesteps,
+                                    const FeatureScaling& scaling) const;
+
+  /// Compact per-user summary used by baselines that skip the CNN:
+  /// mean/std SNR, mean position, mean watch fraction, preference vector.
+  std::vector<double> summary_features(util::SimTime now, double window_s,
+                                       const FeatureScaling& scaling) const;
+
+ private:
+  std::uint64_t user_id_;
+  AttributeSeries<ChannelObservation> channel_;
+  AttributeSeries<mobility::Position> location_;
+  AttributeSeries<WatchObservation> watch_;
+  AttributeSeries<behavior::PreferenceVector> preference_;
+  behavior::PreferenceEstimator pref_estimator_;
+};
+
+}  // namespace dtmsv::twin

@@ -1,0 +1,207 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dtmsv::util {
+
+namespace {
+
+bool needs_quoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& cell) {
+  if (!needs_quoting(cell)) {
+    return cell;
+  }
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') {
+      out += "\"\"";
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void append_row(std::string& out, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += quote(cells[i]);
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+std::string format_double(double v) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+void CsvWriter::set_header(std::vector<std::string> columns) {
+  DTMSV_EXPECTS_MSG(rows_.empty(), "set_header must precede rows");
+  header_ = std::move(columns);
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (!header_.empty()) {
+    DTMSV_EXPECTS_MSG(cells.size() == header_.size(), "row width != header width");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (const double v : cells) {
+    out.push_back(format_double(v));
+  }
+  add_row(std::move(out));
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  if (!header_.empty()) {
+    append_row(out, header_);
+  }
+  for (const auto& row : rows_) {
+    append_row(out, row);
+  }
+  return out;
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw RuntimeError("cannot open for write: " + path);
+  }
+  os << to_string();
+  if (!os) {
+    throw RuntimeError("write failed: " + path);
+  }
+}
+
+CsvReader CsvReader::parse(const std::string& text, bool has_header) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> current;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_started = false;
+
+  const auto end_cell = [&] {
+    current.push_back(std::move(cell));
+    cell.clear();
+  };
+  const auto end_row = [&] {
+    end_cell();
+    rows.push_back(std::move(current));
+    current.clear();
+    row_started = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_started = true;
+        break;
+      case ',':
+        end_cell();
+        row_started = true;
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        if (row_started || !cell.empty() || !current.empty()) {
+          end_row();
+        }
+        break;
+      default:
+        cell += c;
+        row_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    throw RuntimeError("CSV parse error: unterminated quoted field");
+  }
+  if (row_started || !cell.empty() || !current.empty()) {
+    end_row();
+  }
+
+  CsvReader reader;
+  if (has_header) {
+    if (rows.empty()) {
+      throw RuntimeError("CSV parse error: expected header row");
+    }
+    reader.header_ = std::move(rows.front());
+    rows.erase(rows.begin());
+  }
+  reader.rows_ = std::move(rows);
+  return reader;
+}
+
+CsvReader CsvReader::read_file(const std::string& path, bool has_header) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw RuntimeError("cannot open for read: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse(buffer.str(), has_header);
+}
+
+const std::vector<std::string>& CsvReader::row(std::size_t i) const {
+  DTMSV_EXPECTS(i < rows_.size());
+  return rows_[i];
+}
+
+std::size_t CsvReader::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) {
+      return i;
+    }
+  }
+  throw RuntimeError("CSV: no such column: " + name);
+}
+
+const std::string& CsvReader::cell(std::size_t row_idx, std::size_t col) const {
+  const auto& r = row(row_idx);
+  DTMSV_EXPECTS(col < r.size());
+  return r[col];
+}
+
+double CsvReader::cell_double(std::size_t row_idx, std::size_t col) const {
+  const std::string& s = cell(row_idx, col);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw RuntimeError("CSV: not a number: '" + s + "'");
+  }
+  return value;
+}
+
+}  // namespace dtmsv::util

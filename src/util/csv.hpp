@@ -1,0 +1,73 @@
+// Minimal CSV writer/reader used by examples and bench harnesses to export
+// experiment series. Values are quoted only when needed (comma, quote, or
+// newline present); numbers are written with full round-trip precision.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dtmsv::util {
+
+/// Row-oriented CSV document builder.
+class CsvWriter {
+ public:
+  /// Sets the header; must be called before any row is appended.
+  void set_header(std::vector<std::string> columns);
+
+  /// Appends a row; width must match the header when one is set.
+  void add_row(std::vector<std::string> cells);
+
+  /// Braced-list convenience (avoids vector<double> iterator-pair ambiguity
+  /// for string-literal rows).
+  void add_row(std::initializer_list<std::string> cells) {
+    add_row(std::vector<std::string>(cells));
+  }
+
+  /// Convenience: formats doubles with round-trip precision.
+  void add_row(const std::vector<double>& cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Serialises to CSV text.
+  std::string to_string() const;
+
+  /// Writes to a file; throws RuntimeError on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parsed CSV document with optional header.
+class CsvReader {
+ public:
+  /// Parses CSV text. Handles quoted fields with embedded commas/quotes/newlines.
+  static CsvReader parse(const std::string& text, bool has_header = true);
+  /// Reads and parses a file; throws RuntimeError if it cannot be opened.
+  static CsvReader read_file(const std::string& path, bool has_header = true);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Column index by name; throws RuntimeError when missing.
+  std::size_t column(const std::string& name) const;
+
+  /// Typed cell access.
+  const std::string& cell(std::size_t row, std::size_t col) const;
+  double cell_double(std::size_t row, std::size_t col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with enough digits to round-trip.
+std::string format_double(double v);
+
+}  // namespace dtmsv::util

@@ -1,0 +1,62 @@
+// Error handling primitives shared by all dtmsv modules.
+//
+// Follows C++ Core Guidelines I.5/I.7 (state pre/postconditions) and E.x:
+// precondition violations are programming errors and throw
+// dtmsv::util::PreconditionError; runtime failures (I/O, parse) throw the
+// appropriate std exception or dtmsv::util::RuntimeError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dtmsv::util {
+
+/// Thrown when a documented precondition of a public API is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when a documented postcondition or internal invariant fails.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown for recoverable runtime failures (I/O, parsing, missing data).
+class RuntimeError : public std::runtime_error {
+ public:
+  explicit RuntimeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace dtmsv::util
+
+/// Precondition check: active in all build types (cheap checks only).
+#define DTMSV_EXPECTS(expr)                                                        \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::dtmsv::util::detail::throw_precondition(#expr, __FILE__, __LINE__, "");    \
+    }                                                                              \
+  } while (false)
+
+#define DTMSV_EXPECTS_MSG(expr, msg)                                               \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::dtmsv::util::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                              \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define DTMSV_ENSURES(expr)                                                        \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::dtmsv::util::detail::throw_invariant(#expr, __FILE__, __LINE__, "");       \
+    }                                                                              \
+  } while (false)

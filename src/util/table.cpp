@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "util/error.hpp"
+
+namespace dtmsv::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DTMSV_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  DTMSV_EXPECTS_MSG(cells.size() == header_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (const double v : cells) {
+    out.push_back(fixed(v, precision));
+  }
+  add_row(std::move(out));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    widths[i] = header_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      line += ' ';
+      line += row[i];
+      line.append(widths[i] - row[i].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string sep = "+";
+  for (const std::size_t w : widths) {
+    sep.append(w + 2, '-');
+    sep += '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  out += sep;
+  return out;
+}
+
+void Table::print(const std::string& title) const {
+  if (!title.empty()) {
+    std::cout << "\n== " << title << " ==\n";
+  }
+  std::cout << to_string();
+  std::cout.flush();
+}
+
+std::string fixed(double v, int precision) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return std::string(buf, static_cast<std::size_t>(n));
+}
+
+std::string percent(double ratio, int precision) {
+  return fixed(ratio * 100.0, precision) + "%";
+}
+
+}  // namespace dtmsv::util

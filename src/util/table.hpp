@@ -1,0 +1,43 @@
+// Console table renderer for bench harnesses: prints aligned, boxed tables
+// matching the "rows/series the paper reports" requirement.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dtmsv::util {
+
+/// Builds and renders a fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Braced-list convenience (avoids vector<double> iterator-pair ambiguity
+  /// for string-literal rows).
+  void add_row(std::initializer_list<std::string> cells) {
+    add_row(std::vector<std::string>(cells));
+  }
+  /// Doubles formatted with the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header separator.
+  std::string to_string() const;
+
+  /// Renders to stdout with an optional title banner.
+  void print(const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string fixed(double v, int precision = 3);
+/// Formats a ratio in [0,1] as a percentage string, e.g. "95.04%".
+std::string percent(double ratio, int precision = 2);
+
+}  // namespace dtmsv::util

@@ -1,0 +1,29 @@
+#include "video/transcode.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dtmsv::video {
+
+double TranscodeModel::transcode_cycles(const Video& video, std::size_t rung,
+                                        double watched_seconds) const {
+  DTMSV_EXPECTS(rung < video.ladder.rung_count());
+  DTMSV_EXPECTS(watched_seconds >= 0.0);
+  DTMSV_EXPECTS(cycles_per_bit > 0.0);
+  if (rung + 1 == video.ladder.rung_count()) {
+    return 0.0;  // cached top representation needs no transcode
+  }
+  const double seconds = std::min(watched_seconds, video.duration_s);
+  const double output_bits = video.ladder.kbps(rung) * 1e3 * seconds;
+  return cycles_per_bit * output_bits;
+}
+
+double TranscodeModel::utilisation(double cycles, double window_s) const {
+  DTMSV_EXPECTS(cycles >= 0.0);
+  DTMSV_EXPECTS(window_s > 0.0);
+  DTMSV_EXPECTS(capacity_cycles_per_s > 0.0);
+  return cycles / (capacity_cycles_per_s * window_s);
+}
+
+}  // namespace dtmsv::video

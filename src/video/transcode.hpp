@@ -1,0 +1,31 @@
+// Transcoding cost model. The ES "stores popular short videos with the
+// highest representation" and transcodes downward on demand; computing
+// resource demand is the CPU-cycle cost of those transcodes.
+#pragma once
+
+#include <cstddef>
+
+#include "video/catalog.hpp"
+
+namespace dtmsv::video {
+
+/// Cycle-cost model: cycles = cycles_per_bit × output_bits, the standard
+/// mobile-edge-computing transcode model (cost scales with the bits
+/// produced; decode overhead folded into the coefficient).
+struct TranscodeModel {
+  /// CPU cycles needed per output bit produced by the transcoder.
+  double cycles_per_bit = 50.0;
+  /// ES capacity in cycles per second (e.g. 8 cores × 2.4 GHz).
+  double capacity_cycles_per_s = 8 * 2.4e9;
+
+  /// Cycles to transcode `video` from its top representation down to `rung`
+  /// for `watched_seconds` of content. Zero when rung is the top rung
+  /// (served straight from cache).
+  double transcode_cycles(const Video& video, std::size_t rung,
+                          double watched_seconds) const;
+
+  /// Fraction of ES capacity consumed by `cycles` spread over `window_s`.
+  double utilisation(double cycles, double window_s) const;
+};
+
+}  // namespace dtmsv::video

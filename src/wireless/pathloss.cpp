@@ -1,0 +1,34 @@
+#include "wireless/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dtmsv::wireless {
+
+double PathLossModel::loss_db(double d_m) const {
+  DTMSV_EXPECTS(d_m >= 0.0);
+  DTMSV_EXPECTS(reference_m > 0.0);
+  const double d = std::max(d_m, reference_m);
+  return pl_ref_db + 10.0 * exponent * std::log10(d / reference_m);
+}
+
+ShadowingProcess::ShadowingProcess(double sigma_db, double decorrelation_m,
+                                   util::Rng rng)
+    : sigma_db_(sigma_db), decorrelation_m_(decorrelation_m), rng_(std::move(rng)) {
+  DTMSV_EXPECTS(sigma_db >= 0.0);
+  DTMSV_EXPECTS(decorrelation_m > 0.0);
+  value_db_ = rng_.normal(0.0, sigma_db_);
+}
+
+double ShadowingProcess::step(double moved_m) {
+  DTMSV_EXPECTS(moved_m >= 0.0);
+  // AR(1): rho = exp(-Δd / d_corr); innovation keeps stationary variance.
+  const double rho = std::exp(-moved_m / decorrelation_m_);
+  const double innovation_sigma = sigma_db_ * std::sqrt(std::max(0.0, 1.0 - rho * rho));
+  value_db_ = rho * value_db_ + rng_.normal(0.0, innovation_sigma);
+  return value_db_;
+}
+
+}  // namespace dtmsv::wireless

@@ -1,0 +1,360 @@
+// Unit tests for dtmsv::clustering — K-means++ seeding invariants, Lloyd
+// convergence on separable data, quality metrics against hand-computed
+// values, and the K-selection baselines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "clustering/kmeans.hpp"
+#include "clustering/metrics.hpp"
+#include "clustering/selectors.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace dtmsv::clustering;
+using dtmsv::util::PreconditionError;
+using dtmsv::util::Rng;
+
+/// Generates `per_cluster` points around each of `centers`.
+Points gaussian_blobs(const Points& centers, std::size_t per_cluster, double sigma,
+                      Rng& rng) {
+  Points points;
+  for (const auto& c : centers) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      std::vector<double> p(c.size());
+      for (std::size_t d = 0; d < c.size(); ++d) {
+        p[d] = c[d] + rng.normal(0.0, sigma);
+      }
+      points.push_back(std::move(p));
+    }
+  }
+  return points;
+}
+
+const Points kFarCenters = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}, {10.0, 10.0}};
+
+// ---------------------------------------------------------------- distance
+
+TEST(Distance, KnownValues) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+}
+
+TEST(Distance, DimensionMismatchRejected) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(squared_distance(a, b), PreconditionError);
+}
+
+// ----------------------------------------------------------- k-means++ init
+
+TEST(KMeansPlusPlus, ProducesKDistinctCentroidsOnSeparatedData) {
+  Rng rng(1);
+  const Points points = gaussian_blobs(kFarCenters, 20, 0.3, rng);
+  const Points centroids = kmeans_plus_plus_init(points, 4, rng);
+  ASSERT_EQ(centroids.size(), 4u);
+  // With well separated blobs, D² weighting lands one seed per blob with
+  // overwhelming probability.
+  std::set<int> blobs_hit;
+  for (const auto& c : centroids) {
+    for (std::size_t b = 0; b < kFarCenters.size(); ++b) {
+      if (distance(c, kFarCenters[b]) < 3.0) {
+        blobs_hit.insert(static_cast<int>(b));
+      }
+    }
+  }
+  EXPECT_EQ(blobs_hit.size(), 4u);
+}
+
+TEST(KMeansPlusPlus, CentroidsAreInputPoints) {
+  Rng rng(2);
+  const Points points = gaussian_blobs({{0.0, 0.0}, {5.0, 5.0}}, 10, 0.5, rng);
+  const Points centroids = kmeans_plus_plus_init(points, 3, rng);
+  for (const auto& c : centroids) {
+    EXPECT_NE(std::find(points.begin(), points.end(), c), points.end());
+  }
+}
+
+TEST(KMeansPlusPlus, HandlesDuplicatePoints) {
+  Rng rng(3);
+  Points points(10, std::vector<double>{1.0, 1.0});  // all identical
+  const Points centroids = kmeans_plus_plus_init(points, 3, rng);
+  EXPECT_EQ(centroids.size(), 3u);
+}
+
+TEST(KMeansPlusPlus, KOutOfRangeRejected) {
+  Rng rng(4);
+  Points points = {{1.0}, {2.0}};
+  EXPECT_THROW(kmeans_plus_plus_init(points, 0, rng), PreconditionError);
+  EXPECT_THROW(kmeans_plus_plus_init(points, 3, rng), PreconditionError);
+}
+
+// ------------------------------------------------------------------ k-means
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  Rng rng(5);
+  const Points points = gaussian_blobs(kFarCenters, 25, 0.4, rng);
+  const KMeansResult result = k_means(points, 4, rng);
+
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.cluster_count(), 4u);
+  // Every centroid sits near a true center.
+  for (const auto& c : result.centroids) {
+    double best = 1e9;
+    for (const auto& t : kFarCenters) {
+      best = std::min(best, distance(c, t));
+    }
+    EXPECT_LT(best, 1.0);
+  }
+  // All 100 points partitioned into 4 clusters of 25.
+  const auto sizes = result.cluster_sizes();
+  for (const std::size_t s : sizes) {
+    EXPECT_EQ(s, 25u);
+  }
+}
+
+TEST(KMeans, AssignmentIsNearestCentroidFixedPoint) {
+  Rng rng(6);
+  const Points points = gaussian_blobs(kFarCenters, 15, 1.0, rng);
+  const KMeansResult result = k_means(points, 4, rng);
+  const auto reassigned = assign_to_nearest(points, result.centroids);
+  EXPECT_EQ(reassigned, result.assignment);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  Rng rng(7);
+  const Points points = gaussian_blobs(kFarCenters, 20, 1.5, rng);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    KMeansOptions opts;
+    opts.restarts = 4;
+    const double inertia_k = k_means(points, k, rng, opts).inertia;
+    EXPECT_LE(inertia_k, prev * 1.001);
+    prev = inertia_k;
+  }
+}
+
+TEST(KMeans, KEqualsOneGivesCentroidMean) {
+  Rng rng(8);
+  const Points points = {{0.0, 0.0}, {2.0, 0.0}, {0.0, 2.0}, {2.0, 2.0}};
+  const KMeansResult result = k_means(points, 1, rng);
+  ASSERT_EQ(result.centroids.size(), 1u);
+  EXPECT_NEAR(result.centroids[0][0], 1.0, 1e-9);
+  EXPECT_NEAR(result.centroids[0][1], 1.0, 1e-9);
+  EXPECT_NEAR(result.inertia, 8.0, 1e-9);
+}
+
+TEST(KMeans, KEqualsNPerfectFit) {
+  Rng rng(9);
+  const Points points = {{0.0}, {5.0}, {10.0}};
+  const KMeansResult result = k_means(points, 3, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+  std::set<std::size_t> clusters(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(clusters.size(), 3u);
+}
+
+TEST(KMeans, MembersOfPartitionsAllPoints) {
+  Rng rng(10);
+  const Points points = gaussian_blobs(kFarCenters, 10, 0.5, rng);
+  const KMeansResult result = k_means(points, 4, rng);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < result.cluster_count(); ++c) {
+    total += result.members_of(c).size();
+  }
+  EXPECT_EQ(total, points.size());
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const Points points = gaussian_blobs(kFarCenters, 10, 1.0, rng_a);
+  Rng points_rng(11);
+  const Points points_b = gaussian_blobs(kFarCenters, 10, 1.0, points_rng);
+  Rng ka(99);
+  Rng kb(99);
+  const auto ra = k_means(points, 3, ka);
+  const auto rb = k_means(points, 3, kb);
+  EXPECT_EQ(ra.assignment, rb.assignment);
+  EXPECT_DOUBLE_EQ(ra.inertia, rb.inertia);
+  (void)rng_b;
+  (void)points_b;
+}
+
+TEST(KMeans, EmptyInputRejected) {
+  Rng rng(12);
+  Points empty;
+  EXPECT_THROW(k_means(empty, 1, rng), PreconditionError);
+}
+
+TEST(KMeans, InconsistentDimensionsRejected) {
+  Rng rng(13);
+  Points ragged = {{1.0, 2.0}, {3.0}};
+  EXPECT_THROW(k_means(ragged, 1, rng), PreconditionError);
+}
+
+// ------------------------------------------------------------------ metrics
+
+TEST(Silhouette, PerfectSeparationNearOne) {
+  Rng rng(14);
+  const Points points = gaussian_blobs({{0.0, 0.0}, {100.0, 0.0}}, 10, 0.1, rng);
+  std::vector<std::size_t> assignment(20, 0);
+  std::fill(assignment.begin() + 10, assignment.end(), 1);
+  EXPECT_GT(silhouette(points, assignment), 0.95);
+}
+
+TEST(Silhouette, RandomAssignmentNearZeroOrNegative) {
+  Rng rng(15);
+  const Points points = gaussian_blobs({{0.0, 0.0}, {100.0, 0.0}}, 10, 0.1, rng);
+  std::vector<std::size_t> assignment;
+  for (std::size_t i = 0; i < 20; ++i) {
+    assignment.push_back(i % 2);  // alternating: mixes both blobs
+  }
+  EXPECT_LT(silhouette(points, assignment), 0.1);
+}
+
+TEST(Silhouette, SingleClusterIsZero) {
+  const Points points = {{0.0}, {1.0}, {2.0}};
+  const std::vector<std::size_t> assignment = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(silhouette(points, assignment), 0.0);
+}
+
+TEST(Silhouette, BoundedInMinusOneOne) {
+  Rng rng(16);
+  const Points points = gaussian_blobs(kFarCenters, 8, 5.0, rng);
+  for (const std::size_t k : {2u, 3u, 4u}) {
+    const auto result = k_means(points, k, rng);
+    const double s = silhouette(points, result.assignment);
+    EXPECT_GE(s, -1.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(DaviesBouldin, LowerForBetterSeparation) {
+  Rng rng(17);
+  const Points tight = gaussian_blobs({{0.0, 0.0}, {50.0, 0.0}}, 15, 0.5, rng);
+  const Points loose = gaussian_blobs({{0.0, 0.0}, {3.0, 0.0}}, 15, 2.0, rng);
+  std::vector<std::size_t> assignment(30, 0);
+  std::fill(assignment.begin() + 15, assignment.end(), 1);
+  EXPECT_LT(davies_bouldin(tight, assignment), davies_bouldin(loose, assignment));
+}
+
+TEST(DaviesBouldin, DegenerateSingleCluster) {
+  const Points points = {{0.0}, {1.0}};
+  const std::vector<std::size_t> assignment = {0, 0};
+  EXPECT_DOUBLE_EQ(davies_bouldin(points, assignment), 0.0);
+}
+
+TEST(Inertia, MatchesHandComputation) {
+  const Points points = {{0.0}, {2.0}, {10.0}};
+  const Points centroids = {{1.0}, {10.0}};
+  const std::vector<std::size_t> assignment = {0, 0, 1};
+  EXPECT_DOUBLE_EQ(inertia(points, centroids, assignment), 1.0 + 1.0 + 0.0);
+}
+
+TEST(CalinskiHarabasz, HigherForSeparatedData) {
+  Rng rng(18);
+  const Points good = gaussian_blobs({{0.0, 0.0}, {50.0, 0.0}}, 20, 0.5, rng);
+  const Points bad = gaussian_blobs({{0.0, 0.0}, {1.0, 0.0}}, 20, 3.0, rng);
+  std::vector<std::size_t> assignment(40, 0);
+  std::fill(assignment.begin() + 20, assignment.end(), 1);
+  EXPECT_GT(calinski_harabasz(good, assignment), calinski_harabasz(bad, assignment));
+}
+
+// ---------------------------------------------------------------- selectors
+
+TEST(FixedKSelector, ClampsToPointCount) {
+  FixedKSelector sel(10);
+  Rng rng(19);
+  Points points = {{0.0}, {1.0}, {2.0}};
+  EXPECT_EQ(sel.select_k(points, rng), 3u);
+  EXPECT_EQ(sel.name(), "fixed-10");
+}
+
+TEST(ElbowKSelector, FindsKneeOnSeparatedBlobs) {
+  Rng rng(20);
+  const Points points = gaussian_blobs(kFarCenters, 20, 0.4, rng);
+  ElbowKSelector sel(2, 8);
+  const std::size_t k = sel.select_k(points, rng);
+  // The knee of 4 well-separated blobs is at or adjacent to 4.
+  EXPECT_GE(k, 3u);
+  EXPECT_LE(k, 5u);
+}
+
+TEST(SilhouetteSweepSelector, FindsTrueKOnSeparatedBlobs) {
+  Rng rng(21);
+  const Points points = gaussian_blobs(kFarCenters, 15, 0.4, rng);
+  SilhouetteSweepSelector sel(2, 8);
+  EXPECT_EQ(sel.select_k(points, rng), 4u);
+}
+
+TEST(RandomKSelector, StaysWithinRange) {
+  Rng rng(22);
+  const Points points = gaussian_blobs(kFarCenters, 10, 1.0, rng);
+  RandomKSelector sel(3, 7);
+  for (int i = 0; i < 50; ++i) {
+    const std::size_t k = sel.select_k(points, rng);
+    EXPECT_GE(k, 3u);
+    EXPECT_LE(k, 7u);
+  }
+}
+
+TEST(Selectors, InvalidRangesRejected) {
+  EXPECT_THROW(FixedKSelector(0), PreconditionError);
+  EXPECT_THROW(ElbowKSelector(5, 2), PreconditionError);
+  EXPECT_THROW(RandomKSelector(0, 3), PreconditionError);
+}
+
+// ------------------------------------------------- parameterized properties
+
+struct KMeansParam {
+  std::size_t n_points;
+  std::size_t k;
+  std::uint64_t seed;
+};
+
+class KMeansProperty : public ::testing::TestWithParam<KMeansParam> {};
+
+TEST_P(KMeansProperty, InvariantsHoldOnRandomData) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  Points points;
+  points.reserve(param.n_points);
+  for (std::size_t i = 0; i < param.n_points; ++i) {
+    points.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0),
+                      rng.uniform(0.0, 10.0)});
+  }
+  const KMeansResult result = k_means(points, param.k, rng);
+
+  // Assignment indices valid; all clusters non-empty; inertia matches.
+  ASSERT_EQ(result.assignment.size(), points.size());
+  std::vector<std::size_t> counts(param.k, 0);
+  for (const std::size_t a : result.assignment) {
+    ASSERT_LT(a, param.k);
+    ++counts[a];
+  }
+  for (const std::size_t c : counts) {
+    EXPECT_GT(c, 0u);
+  }
+  EXPECT_NEAR(result.inertia, inertia(points, result.centroids, result.assignment),
+              1e-6);
+  // Assignment is a nearest-centroid fixed point.
+  EXPECT_EQ(assign_to_nearest(points, result.centroids), result.assignment);
+  // Silhouette bounded.
+  const double s = silhouette(points, result.assignment);
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KMeansProperty,
+    ::testing::Values(KMeansParam{10, 2, 1}, KMeansParam{50, 3, 2},
+                      KMeansParam{100, 5, 3}, KMeansParam{100, 10, 4},
+                      KMeansParam{30, 1, 5}, KMeansParam{64, 8, 6},
+                      KMeansParam{200, 6, 7}, KMeansParam{25, 25, 8}));
+
+}  // namespace

@@ -1,0 +1,322 @@
+// Second-wave edge-case tests across modules: boundary geometries, extreme
+// configurations, serialisation to disk, and behaviours the first-wave unit
+// tests did not pin down.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/recommend.hpp"
+#include "analysis/swiping.hpp"
+#include "behavior/session.hpp"
+#include "clustering/kmeans.hpp"
+#include "core/feature_compressor.hpp"
+#include "core/group_constructor.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "nn/sequential.hpp"
+#include "nn/serialize.hpp"
+#include "twin/udt.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "video/catalog.hpp"
+#include "wireless/channel.hpp"
+#include "wireless/fading.hpp"
+#include "wireless/multicast.hpp"
+
+namespace {
+
+using namespace dtmsv;
+using util::PreconditionError;
+using util::Rng;
+
+// ------------------------------------------------------------ nn to disk
+
+TEST(SerializeFile, RoundTripThroughFilesystem) {
+  Rng rng(1);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(4, 4, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::Linear>(4, 2, rng);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dtmsv_params_test.txt").string();
+  nn::save_parameters(net, path);
+
+  Rng rng2(2);
+  nn::Sequential other;
+  other.emplace<nn::Linear>(4, 4, rng2);
+  other.emplace<nn::ReLU>();
+  other.emplace<nn::Linear>(4, 2, rng2);
+  nn::load_parameters(other, path);
+
+  nn::Tensor x({1, 4}, {0.1f, -0.2f, 0.3f, -0.4f});
+  const nn::Tensor ya = net.forward(x);
+  const nn::Tensor yb = other.forward(x);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    EXPECT_NEAR(ya[i], yb[i], 1e-5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeFile, MissingFileThrows) {
+  Rng rng(3);
+  nn::Sequential net;
+  net.emplace<nn::Linear>(2, 2, rng);
+  EXPECT_THROW(nn::load_parameters(net, "/nonexistent/params.txt"),
+               util::RuntimeError);
+}
+
+// ------------------------------------------------------- fading dynamics
+
+TEST(FadingDynamics, HighDopplerDecorrelatesFaster) {
+  const auto lag1_corr = [](double doppler) {
+    wireless::RayleighFading fading(doppler, 1.0, Rng(4));
+    std::vector<double> xs;
+    std::vector<double> ys;
+    double prev = fading.step();
+    for (int i = 0; i < 20000; ++i) {
+      const double next = fading.step();
+      xs.push_back(prev);
+      ys.push_back(next);
+      prev = next;
+    }
+    return util::pearson(xs, ys);
+  };
+  EXPECT_GT(lag1_corr(0.5), lag1_corr(50.0) + 0.2);
+}
+
+TEST(FadingDynamics, ZeroDopplerFreezesChannel) {
+  wireless::RayleighFading fading(0.0, 1.0, Rng(5));
+  const double first = fading.step();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(fading.step(), first, 1e-12);
+  }
+}
+
+// ----------------------------------------------- multicast rung boundaries
+
+TEST(MulticastBoundary, ExactBudgetSelectsRung) {
+  wireless::MulticastPhy phy;
+  const std::vector<double> ladder = {750.0, 1200.0, 1850.0};
+  // Budget exactly equals a rung: that rung is sustainable.
+  EXPECT_EQ(phy.sustainable_rung(ladder, 1.0, 1200e3), 1u);
+  // One hertz less: drops to the rung below.
+  EXPECT_EQ(phy.sustainable_rung(ladder, 1.0, 1200e3 - 1.0), 0u);
+}
+
+// ------------------------------------------------------ clustering corners
+
+TEST(ClusteringCorners, TwoIdenticalPointsTwoClusters) {
+  Rng rng(6);
+  clustering::Points points = {{1.0, 1.0}, {1.0, 1.0}};
+  const auto result = clustering::k_means(points, 2, rng);
+  EXPECT_EQ(result.assignment.size(), 2u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(ClusteringCorners, OneDimensionalData) {
+  Rng rng(7);
+  clustering::Points points;
+  for (int i = 0; i < 10; ++i) {
+    points.push_back({static_cast<double>(i)});
+  }
+  for (int i = 0; i < 10; ++i) {
+    points.push_back({100.0 + static_cast<double>(i)});
+  }
+  const auto result = clustering::k_means(points, 2, rng);
+  // The two runs of consecutive integers are split exactly at the gap.
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(result.assignment[i], result.assignment[0]);
+    EXPECT_EQ(result.assignment[10 + i], result.assignment[10]);
+  }
+  EXPECT_NE(result.assignment[0], result.assignment[10]);
+}
+
+TEST(ClusteringCorners, HighDimensionalSparseData) {
+  Rng rng(8);
+  clustering::Points points;
+  for (int i = 0; i < 12; ++i) {
+    std::vector<double> p(64, 0.0);
+    p[static_cast<std::size_t>(i % 4) * 16] = 1.0;  // 4 orthogonal directions
+    points.push_back(std::move(p));
+  }
+  const auto result = clustering::k_means(points, 4, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-9);
+}
+
+// ----------------------------------------------------- compressor corners
+
+TEST(CompressorCorners, SingleWindowBatch) {
+  core::CompressorConfig cfg;
+  cfg.channels = 2;
+  cfg.timesteps = 8;
+  cfg.embedding_dim = 3;
+  core::FeatureCompressor comp(cfg, 9);
+  const std::vector<std::vector<float>> one = {
+      std::vector<float>(cfg.channels * cfg.timesteps, 0.5f)};
+  const auto points = comp.embed(one);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].size(), 3u);
+  EXPECT_NO_THROW(comp.fit(one));
+}
+
+TEST(CompressorCorners, ConstantWindowsEmbedIdentically) {
+  core::CompressorConfig cfg;
+  cfg.channels = 2;
+  cfg.timesteps = 8;
+  core::FeatureCompressor comp(cfg, 10);
+  const std::vector<float> w(cfg.channels * cfg.timesteps, 0.25f);
+  const auto points = comp.embed({w, w, w});
+  for (std::size_t d = 0; d < points[0].size(); ++d) {
+    EXPECT_DOUBLE_EQ(points[0][d], points[1][d]);
+    EXPECT_DOUBLE_EQ(points[1][d], points[2][d]);
+  }
+}
+
+// ------------------------------------------------- group constructor edge
+
+TEST(GroupConstructorEdge, IdenticalEmbeddingsStillCluster) {
+  core::GroupConstructorConfig cfg;
+  cfg.k_min = 2;
+  cfg.k_max = 4;
+  cfg.ddqn.hidden = {8};
+  core::GroupConstructor ctor(cfg, 11);
+  Rng rng(11);
+  const clustering::Points identical(10, std::vector<double>{0.5, 0.5});
+  const auto decision = ctor.construct(identical, rng);
+  EXPECT_GE(decision.k, 2u);
+  EXPECT_EQ(decision.assignment.size(), 10u);
+  // Degenerate geometry: silhouette defined as 0.
+  EXPECT_GE(decision.silhouette, -1.0);
+  EXPECT_LE(decision.silhouette, 1.0);
+}
+
+TEST(GroupConstructorEdge, TwoPointCloud) {
+  core::GroupConstructorConfig cfg;
+  cfg.k_min = 2;
+  cfg.k_max = 8;
+  cfg.ddqn.hidden = {8};
+  core::GroupConstructor ctor(cfg, 12);
+  Rng rng(12);
+  const clustering::Points two = {{0.0}, {1.0}};
+  const auto decision = ctor.construct(two, rng);
+  EXPECT_EQ(decision.k, 2u);
+}
+
+// ----------------------------------------------------- recommender corners
+
+TEST(RecommenderCorners, SingleVideoCatalogStillFillsQuota) {
+  Rng rng(13);
+  video::CatalogConfig ccfg;
+  ccfg.videos_per_category = 1;
+  const auto catalog = video::Catalog::generate(ccfg, rng);
+  analysis::PopularityAnalyzer pop;
+  behavior::PreferenceVector uniform{};
+  uniform.fill(1.0 / video::kCategoryCount);
+  analysis::RecommenderConfig rcfg;
+  rcfg.playlist_size = 12;
+  const auto rec = analysis::recommend(catalog, pop, uniform, rcfg);
+  // Only 6 distinct videos exist (one per category); the playlist cannot
+  // exceed them but must include each chosen category's video exactly once.
+  EXPECT_LE(rec.playlist.size(), 6u);
+  std::set<std::uint64_t> unique(rec.playlist.begin(), rec.playlist.end());
+  EXPECT_EQ(unique.size(), rec.playlist.size());
+}
+
+TEST(RecommenderCorners, ExtremePreferenceConcentratesPlaylist) {
+  Rng rng(14);
+  video::CatalogConfig ccfg;
+  ccfg.videos_per_category = 50;
+  const auto catalog = video::Catalog::generate(ccfg, rng);
+  analysis::PopularityAnalyzer pop;
+  behavior::PreferenceVector extreme{};
+  extreme[static_cast<std::size_t>(video::Category::kMusic)] = 1.0;
+  analysis::RecommenderConfig rcfg;
+  rcfg.playlist_size = 20;
+  const auto rec = analysis::recommend(catalog, pop, extreme, rcfg);
+  ASSERT_EQ(rec.playlist.size(), 20u);
+  for (const auto id : rec.playlist) {
+    EXPECT_EQ(catalog.video(id).category, video::Category::kMusic);
+  }
+}
+
+// ----------------------------------------------------- UDT window corners
+
+TEST(UdtCorners, WindowLargerThanHistory) {
+  twin::UserDigitalTwin twin(0);
+  const twin::FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  twin.record_channel(5.0, {10.0, 2.0, 0});
+  // Ask for a 1000-second window at t=10: only one sample exists.
+  const auto window = twin.feature_window(10.0, 1000.0, 8, scaling);
+  EXPECT_EQ(window.size(), twin::UserDigitalTwin::kFeatureChannels * 8);
+  // The sample lands in the last bin region and holds forward; bins before
+  // it are zero.
+  EXPECT_EQ(window[0], 0.0f);
+  EXPECT_GT(window[7], 0.0f);
+}
+
+TEST(UdtCorners, SummaryWithOnlyWatchData) {
+  twin::UserDigitalTwin twin(0);
+  const twin::FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  twin::WatchObservation w;
+  w.category = video::Category::kComedy;
+  w.watch_fraction = 0.4;
+  w.watch_seconds = 4.0;
+  w.duration_s = 10.0;
+  twin.record_watch(1.0, w);
+  const auto features = twin.summary_features(2.0, 2.0, scaling);
+  EXPECT_EQ(features.size(), 6u + video::kCategoryCount);
+  EXPECT_DOUBLE_EQ(features[0], 0.0);  // no channel data
+  EXPECT_DOUBLE_EQ(features[4], 0.4);  // mean watch fraction
+}
+
+// -------------------------------------------------- swiping distributions
+
+TEST(SwipingCorners, SingleObservationCdfStep) {
+  analysis::SwipingDistribution dist(10, 1.0);
+  dist.observe(video::Category::kNews, 0.55);
+  // All mass in bin 5 ([0.5, 0.6)): CDF 0 before, 1 after.
+  EXPECT_NEAR(dist.cumulative_swipe_probability(video::Category::kNews, 0.5), 0.0,
+              1e-9);
+  EXPECT_NEAR(dist.cumulative_swipe_probability(video::Category::kNews, 0.6), 1.0,
+              1e-9);
+}
+
+TEST(SwipingCorners, ExpectedMaxHugeGroupSaturates) {
+  analysis::SwipingDistribution dist;
+  Rng rng(15);
+  for (int i = 0; i < 500; ++i) {
+    dist.observe(video::Category::kGame, rng.beta(2.0, 2.0));
+  }
+  const double e = dist.expected_max_watch_fraction(video::Category::kGame, 100000);
+  EXPECT_GT(e, 0.9);
+  EXPECT_LE(e, 1.0);
+}
+
+// --------------------------------------------------------- session corners
+
+TEST(SessionCorners, TinyTickGranularity) {
+  Rng rng(16);
+  video::CatalogConfig ccfg;
+  ccfg.videos_per_category = 10;
+  const auto catalog = video::Catalog::generate(ccfg, rng);
+  behavior::PreferenceVector aff{};
+  aff.fill(1.0);
+  behavior::SessionConfig scfg;
+  behavior::ViewingSession session(0, catalog, scfg, aff, Rng(17));
+  std::vector<behavior::ViewEvent> events;
+  // 0.1-second ticks for 2 simulated minutes.
+  for (int t = 0; t < 1200; ++t) {
+    session.advance(0.1 * t, 0.1, events);
+  }
+  EXPECT_GT(events.size(), 0u);
+  for (const auto& ev : events) {
+    EXPECT_LE(ev.watch_seconds, ev.duration_s + 1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,126 @@
+// Unit tests for predict::CapacityPlanner and the reservation outcome
+// accounting (the paper's future-work stage, provided as a library module).
+#include <gtest/gtest.h>
+
+#include "predict/planner.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace dtmsv::predict;
+using dtmsv::util::PreconditionError;
+
+TEST(CapacityPlanner, ReserveAppliesHeadroom) {
+  ReservationPolicy policy;
+  policy.headroom = 0.25;
+  CapacityPlanner planner(policy);
+  EXPECT_DOUBLE_EQ(planner.reserve(100.0), 125.0);
+  EXPECT_DOUBLE_EQ(planner.reserve(0.0), 0.0);
+}
+
+TEST(CapacityPlanner, MinimumFloorApplies) {
+  ReservationPolicy policy;
+  policy.headroom = 0.10;
+  policy.min_reserved = 50.0;
+  CapacityPlanner planner(policy);
+  EXPECT_DOUBLE_EQ(planner.reserve(10.0), 50.0);
+  EXPECT_DOUBLE_EQ(planner.reserve(100.0), 110.0);
+}
+
+TEST(CapacityPlanner, CapacityCapApplies) {
+  ReservationPolicy policy;
+  policy.headroom = 0.10;
+  policy.max_reserved = 100.0;
+  CapacityPlanner planner(policy);
+  EXPECT_DOUBLE_EQ(planner.reserve(200.0), 100.0);
+}
+
+TEST(CapacityPlanner, ZeroCapMeansUncapped) {
+  ReservationPolicy policy;
+  policy.max_reserved = 0.0;
+  CapacityPlanner planner(policy);
+  EXPECT_DOUBLE_EQ(planner.reserve(1e9), 1.1e9);
+}
+
+TEST(CapacityPlanner, SettleAccountsOverProvisioning) {
+  CapacityPlanner planner(ReservationPolicy{});
+  planner.settle(120.0, 100.0);
+  const auto& o = planner.outcome();
+  EXPECT_EQ(o.intervals, 1u);
+  EXPECT_EQ(o.violations, 0u);
+  EXPECT_DOUBLE_EQ(o.over_total, 20.0);
+  EXPECT_DOUBLE_EQ(o.unmet_total, 0.0);
+  EXPECT_DOUBLE_EQ(o.waste_fraction(), 0.2);
+}
+
+TEST(CapacityPlanner, SettleAccountsViolations) {
+  CapacityPlanner planner(ReservationPolicy{});
+  planner.settle(80.0, 100.0);
+  planner.settle(120.0, 100.0);
+  const auto& o = planner.outcome();
+  EXPECT_EQ(o.intervals, 2u);
+  EXPECT_EQ(o.violations, 1u);
+  EXPECT_DOUBLE_EQ(o.unmet_total, 20.0);
+  EXPECT_DOUBLE_EQ(o.violation_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(o.unmet_fraction(), 0.1);
+}
+
+TEST(CapacityPlanner, StepCombinesReserveAndSettle) {
+  ReservationPolicy policy;
+  policy.headroom = 0.10;
+  CapacityPlanner planner(policy);
+  const double reserved = planner.step(100.0, 105.0);
+  EXPECT_NEAR(reserved, 110.0, 1e-9);
+  EXPECT_EQ(planner.outcome().intervals, 1u);
+  EXPECT_NEAR(planner.outcome().over_total, 5.0, 1e-9);
+}
+
+TEST(CapacityPlanner, ResetClearsOutcome) {
+  CapacityPlanner planner(ReservationPolicy{});
+  planner.step(100.0, 90.0);
+  planner.reset();
+  EXPECT_EQ(planner.outcome().intervals, 0u);
+  EXPECT_DOUBLE_EQ(planner.outcome().reserved_total, 0.0);
+}
+
+TEST(CapacityPlanner, HigherHeadroomTradesWasteForViolations) {
+  ReservationPolicy tight;
+  tight.headroom = 0.0;
+  ReservationPolicy loose;
+  loose.headroom = 0.5;
+  CapacityPlanner planner_tight(tight);
+  CapacityPlanner planner_loose(loose);
+  // Realized demand oscillates ±20 % around the prediction.
+  const double actuals[] = {80.0, 120.0, 90.0, 110.0};
+  for (const double a : actuals) {
+    planner_tight.step(100.0, a);
+    planner_loose.step(100.0, a);
+  }
+  EXPECT_GT(planner_tight.outcome().violations, planner_loose.outcome().violations);
+  EXPECT_LT(planner_tight.outcome().over_total, planner_loose.outcome().over_total);
+}
+
+TEST(CapacityPlanner, EmptyOutcomeFractionsAreZero) {
+  const ReservationOutcome empty{};
+  EXPECT_DOUBLE_EQ(empty.waste_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.unmet_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.violation_rate(), 0.0);
+}
+
+TEST(CapacityPlanner, InvalidInputsRejected) {
+  ReservationPolicy bad;
+  bad.headroom = -0.1;
+  EXPECT_THROW(CapacityPlanner{bad}, PreconditionError);
+
+  ReservationPolicy inverted;
+  inverted.min_reserved = 100.0;
+  inverted.max_reserved = 50.0;
+  EXPECT_THROW(CapacityPlanner{inverted}, PreconditionError);
+
+  CapacityPlanner planner(ReservationPolicy{});
+  EXPECT_THROW(planner.reserve(-1.0), PreconditionError);
+  EXPECT_THROW(planner.settle(-1.0, 0.0), PreconditionError);
+  EXPECT_THROW(planner.settle(0.0, -1.0), PreconditionError);
+}
+
+}  // namespace

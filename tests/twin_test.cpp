@@ -1,0 +1,321 @@
+// Unit tests for dtmsv::twin — attribute-series semantics (ordering,
+// eviction, windows, staleness), UDT feature extraction, the twin store,
+// and the per-attribute collector including loss/latency failure injection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "behavior/session.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "twin/collector.hpp"
+#include "twin/series.hpp"
+#include "twin/store.hpp"
+#include "twin/udt.hpp"
+#include "util/error.hpp"
+#include "wireless/channel.hpp"
+
+namespace {
+
+using namespace dtmsv::twin;
+using dtmsv::util::PreconditionError;
+using dtmsv::util::Rng;
+
+// ---------------------------------------------------------- AttributeSeries
+
+TEST(AttributeSeries, RecordAndLatest) {
+  AttributeSeries<double> series(8);
+  EXPECT_TRUE(series.empty());
+  series.record(1.0, 10.0);
+  series.record(2.0, 20.0);
+  EXPECT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.latest().value, 20.0);
+  EXPECT_DOUBLE_EQ(series.oldest().value, 10.0);
+}
+
+TEST(AttributeSeries, RejectsTimeTravel) {
+  AttributeSeries<int> series(4);
+  series.record(5.0, 1);
+  EXPECT_THROW(series.record(4.0, 2), PreconditionError);
+  series.record(5.0, 3);  // equal timestamps allowed
+}
+
+TEST(AttributeSeries, EvictsOldestAtCapacity) {
+  AttributeSeries<int> series(3);
+  for (int i = 0; i < 5; ++i) {
+    series.record(static_cast<double>(i), i);
+  }
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.oldest().value, 2);
+  EXPECT_EQ(series.latest().value, 4);
+}
+
+TEST(AttributeSeries, WindowQueryHalfOpen) {
+  AttributeSeries<int> series(16);
+  for (int i = 0; i < 10; ++i) {
+    series.record(static_cast<double>(i), i);
+  }
+  const auto window = series.window(3.0, 7.0);
+  ASSERT_EQ(window.size(), 4u);  // t = 3,4,5,6
+  EXPECT_EQ(window.front().value, 3);
+  EXPECT_EQ(window.back().value, 6);
+}
+
+TEST(AttributeSeries, EmptyWindow) {
+  AttributeSeries<int> series(4);
+  series.record(10.0, 1);
+  EXPECT_TRUE(series.window(0.0, 5.0).empty());
+  EXPECT_TRUE(series.window(11.0, 20.0).empty());
+}
+
+TEST(AttributeSeries, Staleness) {
+  AttributeSeries<int> series(4);
+  EXPECT_TRUE(std::isinf(series.staleness(0.0)));
+  series.record(10.0, 1);
+  EXPECT_DOUBLE_EQ(series.staleness(15.0), 5.0);
+  EXPECT_DOUBLE_EQ(series.staleness(5.0), 0.0);  // clamped
+}
+
+TEST(AttributeSeries, EmptyAccessRejected) {
+  AttributeSeries<int> series(4);
+  EXPECT_THROW(series.latest(), PreconditionError);
+  EXPECT_THROW(series.oldest(), PreconditionError);
+}
+
+TEST(AttributeSeries, ZeroCapacityRejected) {
+  EXPECT_THROW(AttributeSeries<int>(0), PreconditionError);
+}
+
+// -------------------------------------------------------------------- UDT
+
+TEST(UserDigitalTwin, RecordsAllFourAttributes) {
+  UserDigitalTwin twin(3);
+  EXPECT_EQ(twin.user_id(), 3u);
+  twin.record_channel(1.0, {12.0, 2.5, 0});
+  twin.record_location(1.0, {100.0, 200.0});
+  WatchObservation w;
+  w.category = dtmsv::video::Category::kNews;
+  w.watch_seconds = 10.0;
+  w.watch_fraction = 0.5;
+  w.duration_s = 20.0;
+  twin.record_watch(2.0, w);
+  twin.record_preference(3.0, twin.preference_estimator().estimate());
+
+  EXPECT_EQ(twin.channel().size(), 1u);
+  EXPECT_EQ(twin.location().size(), 1u);
+  EXPECT_EQ(twin.watch().size(), 1u);
+  EXPECT_EQ(twin.preference().size(), 1u);
+}
+
+TEST(UserDigitalTwin, WatchIngestionFeedsPreferenceEstimator) {
+  UserDigitalTwin twin(0);
+  WatchObservation w;
+  w.category = dtmsv::video::Category::kMusic;
+  w.watch_seconds = 42.0;
+  twin.record_watch(1.0, w);
+  const auto est = twin.preference_estimator().estimate();
+  EXPECT_GT(est[static_cast<std::size_t>(dtmsv::video::Category::kMusic)], 0.5);
+  EXPECT_DOUBLE_EQ(twin.preference_estimator().evidence_seconds(), 42.0);
+}
+
+TEST(UserDigitalTwin, FeatureWindowShapeAndRange) {
+  UserDigitalTwin twin(0);
+  const FeatureScaling scaling{1200.0, 1000.0, 10.0, 40.0};
+  for (int t = 0; t < 60; ++t) {
+    twin.record_channel(static_cast<double>(t), {15.0, 3.0, 0});
+    twin.record_location(static_cast<double>(t), {600.0, 500.0});
+  }
+  const auto window = twin.feature_window(60.0, 60.0, 16, scaling);
+  ASSERT_EQ(window.size(), UserDigitalTwin::kFeatureChannels * 16);
+  for (const float v : window) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, -0.01f);
+    EXPECT_LE(v, 1.5f);
+  }
+  // Channel 0 (normalised SNR) should be (15+10)/40 = 0.625 in every bin.
+  for (std::size_t b = 0; b < 16; ++b) {
+    EXPECT_NEAR(window[b], 0.625f, 1e-5);
+  }
+  // Channel 2 (x/width) = 0.5.
+  for (std::size_t b = 0; b < 16; ++b) {
+    EXPECT_NEAR(window[2 * 16 + b], 0.5f, 1e-5);
+  }
+}
+
+TEST(UserDigitalTwin, FeatureWindowZeroOrderHold) {
+  UserDigitalTwin twin(0);
+  const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  // One sample early in the window; later bins must hold its value.
+  twin.record_channel(1.0, {10.0, 2.0, 0});
+  const auto window = twin.feature_window(32.0, 32.0, 8, scaling);
+  const float expected = (10.0f + 10.0f) / 40.0f;
+  EXPECT_NEAR(window[0], expected, 1e-5);
+  EXPECT_NEAR(window[7], expected, 1e-5);  // held forward
+}
+
+TEST(UserDigitalTwin, FeatureWindowEmptyTwinAllZero) {
+  UserDigitalTwin twin(0);
+  const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  const auto window = twin.feature_window(100.0, 50.0, 8, scaling);
+  // Preference channels hold zeros too (no snapshots yet).
+  for (const float v : window) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(UserDigitalTwin, SummaryFeaturesContent) {
+  UserDigitalTwin twin(0);
+  const FeatureScaling scaling{1000.0, 1000.0, 10.0, 40.0};
+  for (int t = 0; t < 10; ++t) {
+    twin.record_channel(static_cast<double>(t), {10.0, 2.0, 0});
+    twin.record_location(static_cast<double>(t), {500.0, 250.0});
+  }
+  const auto features = twin.summary_features(10.0, 10.0, scaling);
+  ASSERT_EQ(features.size(), 6u + dtmsv::video::kCategoryCount);
+  EXPECT_NEAR(features[0], 0.5, 1e-9);   // mean snr normalised
+  EXPECT_NEAR(features[1], 0.0, 1e-9);   // snr stddev
+  EXPECT_NEAR(features[2], 0.5, 1e-9);   // x
+  EXPECT_NEAR(features[3], 0.25, 1e-9);  // y
+}
+
+// ------------------------------------------------------------------- Store
+
+TEST(TwinStore, OwnsOneTwinPerUser) {
+  TwinStore store(5);
+  EXPECT_EQ(store.user_count(), 5u);
+  for (std::uint64_t u = 0; u < 5; ++u) {
+    EXPECT_EQ(store.twin(u).user_id(), u);
+  }
+  EXPECT_THROW(store.twin(5), PreconditionError);
+}
+
+TEST(TwinStore, BulkFeatureExtraction) {
+  TwinStore store(3);
+  const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  store.twin(0).record_channel(1.0, {20.0, 4.0, 0});
+  const auto windows = store.all_feature_windows(10.0, 10.0, 8, scaling);
+  ASSERT_EQ(windows.size(), 3u);
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.size(), UserDigitalTwin::kFeatureChannels * 8);
+  }
+  const auto summaries = store.all_summary_features(10.0, 10.0, scaling);
+  ASSERT_EQ(summaries.size(), 3u);
+}
+
+TEST(TwinStore, DecayPreferencesAcrossAllTwins) {
+  TwinStore store(2);
+  WatchObservation w;
+  w.category = dtmsv::video::Category::kGame;
+  w.watch_seconds = 100.0;
+  store.twin(0).record_watch(1.0, w);
+  store.twin(1).record_watch(1.0, w);
+  const double before = store.twin(0).preference_estimator().evidence_seconds();
+  store.decay_preferences();
+  EXPECT_LT(store.twin(0).preference_estimator().evidence_seconds(), before);
+  EXPECT_LT(store.twin(1).preference_estimator().evidence_seconds(), before);
+}
+
+// --------------------------------------------------------------- Collector
+
+struct CollectorFixture {
+  dtmsv::mobility::CampusMap map = dtmsv::mobility::CampusMap::waterloo_campus();
+  dtmsv::mobility::MobilityConfig mob_cfg{};
+  Rng rng{99};
+  std::size_t users = 4;
+  dtmsv::mobility::MobilityField field{map, mob_cfg, users, rng};
+  dtmsv::wireless::RadioConfig radio{};
+  Rng channel_rng{100};
+  dtmsv::wireless::ChannelModel channel{map, radio, users, channel_rng};
+  TwinStore store{users};
+
+  void run(StatusCollector& collector, int seconds) {
+    for (int t = 0; t < seconds; ++t) {
+      field.advance(1.0);
+      channel.step(field.snapshot());
+      collector.tick(static_cast<double>(t + 1), 1.0, store, channel, field, {});
+    }
+  }
+};
+
+TEST(StatusCollector, RespectsPerAttributePeriods) {
+  CollectorFixture fx;
+  CollectionPolicy policy;
+  policy.channel_period_s = 1.0;
+  policy.location_period_s = 5.0;
+  policy.preference_period_s = 20.0;
+  StatusCollector collector(policy, fx.users, Rng(1));
+  fx.run(collector, 20);
+
+  const auto& stats = collector.stats();
+  EXPECT_EQ(stats.channel_reports, 20u * fx.users);
+  // Location fires at t=1 (first due) then every 5 s: t=1,5,10,15,20 → 5.
+  EXPECT_EQ(stats.location_reports, 5u * fx.users);
+  EXPECT_EQ(stats.dropped_reports, 0u);
+  EXPECT_EQ(fx.store.twin(0).channel().size(), 20u);
+}
+
+TEST(StatusCollector, ReportLossDropsShare) {
+  CollectorFixture fx;
+  CollectionPolicy policy;
+  policy.report_loss_prob = 0.5;
+  StatusCollector collector(policy, fx.users, Rng(2));
+  fx.run(collector, 100);
+
+  const auto& stats = collector.stats();
+  const std::size_t delivered = stats.channel_reports + stats.location_reports +
+                                stats.preference_reports;
+  const double loss_rate =
+      static_cast<double>(stats.dropped_reports) /
+      static_cast<double>(delivered + stats.dropped_reports);
+  EXPECT_NEAR(loss_rate, 0.5, 0.1);
+  // Twins still usable, just sparser.
+  EXPECT_GT(fx.store.twin(0).channel().size(), 20u);
+  EXPECT_LT(fx.store.twin(0).channel().size(), 80u);
+}
+
+TEST(StatusCollector, LatencyShiftsVisibility) {
+  CollectorFixture fx;
+  CollectionPolicy policy;
+  policy.latency_s = 10.0;
+  StatusCollector collector(policy, fx.users, Rng(3));
+  fx.run(collector, 5);
+  // Measurements at t=1..5 are stamped 11..15: not visible in [0, 6).
+  EXPECT_TRUE(fx.store.twin(0).channel().window(0.0, 6.0).empty());
+  EXPECT_EQ(fx.store.twin(0).channel().window(0.0, 16.0).size(), 5u);
+}
+
+TEST(StatusCollector, WatchEventsAreEventDriven) {
+  CollectorFixture fx;
+  CollectionPolicy policy;
+  StatusCollector collector(policy, fx.users, Rng(4));
+
+  fx.field.advance(1.0);
+  fx.channel.step(fx.field.snapshot());
+  dtmsv::behavior::ViewEvent ev;
+  ev.user_id = 2;
+  ev.video_id = 17;
+  ev.category = dtmsv::video::Category::kComedy;
+  ev.start_time = 0.2;
+  ev.duration_s = 12.0;
+  ev.watch_seconds = 6.0;
+  ev.watch_fraction = 0.5;
+  collector.tick(1.0, 1.0, fx.store, fx.channel, fx.field, {ev});
+
+  EXPECT_EQ(collector.stats().watch_reports, 1u);
+  ASSERT_EQ(fx.store.twin(2).watch().size(), 1u);
+  const auto& obs = fx.store.twin(2).watch().latest().value;
+  EXPECT_EQ(obs.video_id, 17u);
+  EXPECT_DOUBLE_EQ(obs.watch_fraction, 0.5);
+  // Other twins untouched.
+  EXPECT_EQ(fx.store.twin(0).watch().size(), 0u);
+}
+
+TEST(StatusCollector, InvalidPolicyRejected) {
+  CollectionPolicy policy;
+  policy.channel_period_s = 0.0;
+  EXPECT_THROW(StatusCollector(policy, 2, Rng(5)), PreconditionError);
+  CollectionPolicy p2;
+  p2.report_loss_prob = 1.5;
+  EXPECT_THROW(StatusCollector(p2, 2, Rng(6)), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,675 @@
+// Unit tests for dtmsv::util — RNG determinism and distribution moments,
+// streaming statistics, histograms, CSV round-trips, table rendering,
+// clock arithmetic, and error-check macros.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/clock.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dtmsv::util;
+
+// ---------------------------------------------------------------- RNG basics
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() != b.next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, ForkIsDeterministicAndDecorrelated) {
+  Rng parent1(7);
+  Rng parent2(7);
+  Rng childA = parent1.fork(0);
+  Rng childA2 = parent2.fork(0);
+  EXPECT_EQ(childA.next(), childA2.next());
+
+  Rng parent3(7);
+  Rng c0 = parent3.fork(0);
+  Rng parent4(7);
+  Rng c1 = parent4.fork(1);
+  EXPECT_NE(c0.next(), c1.next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(9);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(0, 4);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 4);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 800);  // ~1000 expected each
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(7, 7), 7);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(2024);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.normal());
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.normal(10.0, 3.0));
+  }
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 3.0, 0.1);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(77);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.exponential(2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, GammaMoments) {
+  Rng rng(13);
+  RunningStats stats;
+  const double shape = 3.0;
+  const double scale = 2.0;
+  for (int i = 0; i < 50000; ++i) {
+    stats.add(rng.gamma(shape, scale));
+  }
+  EXPECT_NEAR(stats.mean(), shape * scale, 0.15);
+  EXPECT_NEAR(stats.variance(), shape * scale * scale, 0.8);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(14);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) {
+    const double g = rng.gamma(0.5, 1.0);
+    ASSERT_GE(g, 0.0);
+    stats.add(g);
+  }
+  EXPECT_NEAR(stats.mean(), 0.5, 0.05);
+}
+
+TEST(Rng, BetaMeanAndRange) {
+  Rng rng(15);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double b = rng.beta(2.0, 6.0);
+    ASSERT_GE(b, 0.0);
+    ASSERT_LE(b, 1.0);
+    stats.add(b);
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.02);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(16);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::array<int, 3> counts{};
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.categorical(weights)];
+  }
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalZeroWeightNeverChosen) {
+  Rng rng(17);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.categorical(weights), 1u);
+  }
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(negative), PreconditionError);
+  const std::vector<double> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zeros), PreconditionError);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(18);
+  const std::vector<double> alpha = {0.5, 1.0, 2.0, 4.0};
+  for (int i = 0; i < 100; ++i) {
+    const auto p = rng.dirichlet(alpha);
+    ASSERT_EQ(p.size(), alpha.size());
+    const double total = std::accumulate(p.begin(), p.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    for (const double v : p) {
+      EXPECT_GE(v, 0.0);
+    }
+  }
+}
+
+TEST(Rng, DirichletMeansTrackAlpha) {
+  Rng rng(19);
+  const std::vector<double> alpha = {1.0, 3.0};
+  double mean0 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    mean0 += rng.dirichlet(alpha)[0];
+  }
+  EXPECT_NEAR(mean0 / n, 0.25, 0.01);
+}
+
+TEST(Rng, ZipfRankZeroMostLikely) {
+  Rng rng(20);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 30000; ++i) {
+    ++counts[rng.zipf(10, 1.0)];
+  }
+  for (std::size_t k = 1; k < counts.size(); ++k) {
+    EXPECT_GE(counts[0], counts[k]);
+  }
+}
+
+TEST(Rng, ZipfExponentZeroIsUniform) {
+  Rng rng(21);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[rng.zipf(4, 0.0)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementUnique) {
+  Rng rng(22);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::vector<bool> seen(100, false);
+  for (const std::size_t s : sample) {
+    ASSERT_LT(s, 100u);
+    EXPECT_FALSE(seen[s]);
+    seen[s] = true;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(23);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  auto sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(sorted[i], i);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(24);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(ZipfDistribution, PmfSumsToOne) {
+  ZipfDistribution dist(20, 0.9);
+  double total = 0.0;
+  for (std::size_t k = 0; k < dist.size(); ++k) {
+    total += dist.pmf(k);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfDistribution, PmfDecreasing) {
+  ZipfDistribution dist(15, 1.1);
+  for (std::size_t k = 1; k < dist.size(); ++k) {
+    EXPECT_LE(dist.pmf(k), dist.pmf(k - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfDistribution, SampleMatchesPmf) {
+  ZipfDistribution dist(5, 1.0);
+  Rng rng(25);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[dist.sample(rng)];
+  }
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), dist.pmf(k), 0.01);
+  }
+}
+
+// ------------------------------------------------------------------- Stats
+
+TEST(RunningStats, MeanVarianceAgainstClosedForm) {
+  RunningStats stats;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) {
+    stats.add(x);
+  }
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrowsOnMean) {
+  RunningStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_THROW(stats.mean(), PreconditionError);
+}
+
+TEST(RunningStats, SingleSampleVarianceZero) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream) {
+  Rng rng(31);
+  RunningStats combined;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    combined.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), combined.count());
+  EXPECT_NEAR(left.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), combined.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(left.min(), combined.min());
+  EXPECT_DOUBLE_EQ(left.max(), combined.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bin 0
+  h.add(0.5);    // bin 0
+  h.add(5.0);    // bin 2
+  h.add(9.99);   // bin 4
+  h.add(10.0);   // clamps into bin 4
+  h.add(99.0);   // clamps into bin 4
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count_at(0), 2u);
+  EXPECT_EQ(h.count_at(2), 1u);
+  EXPECT_EQ(h.count_at(4), 3u);
+  EXPECT_NEAR(h.density(4), 0.5, 1e-12);
+}
+
+TEST(Histogram, DensitiesSumToOne) {
+  Histogram h(0.0, 1.0, 8);
+  Rng rng(32);
+  for (int i = 0; i < 1000; ++i) {
+    h.add(rng.uniform());
+  }
+  const auto d = h.densities();
+  EXPECT_NEAR(std::accumulate(d.begin(), d.end(), 0.0), 1.0, 1e-9);
+}
+
+TEST(Histogram, EmptyDensitiesUniform) {
+  Histogram h(0.0, 1.0, 4);
+  const auto d = h.densities();
+  for (const double v : d) {
+    EXPECT_DOUBLE_EQ(v, 0.25);
+  }
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Ewma, FirstValueInitialises) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.has_value());
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, SmoothingFollowsFormula) {
+  Ewma e(0.25);
+  e.add(0.0);
+  e.add(4.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);
+  e.add(1.0);
+  EXPECT_DOUBLE_EQ(e.value(), 1.0);
+}
+
+TEST(Ewma, RejectsBadAlpha) {
+  EXPECT_THROW(Ewma(0.0), PreconditionError);
+  EXPECT_THROW(Ewma(1.5), PreconditionError);
+}
+
+TEST(FreeStats, MeanVarianceStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(variance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(FreeStats, PercentileInterpolates) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);
+}
+
+TEST(FreeStats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(FreeStats, PearsonZeroVariance) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(FreeStats, MapeBasic) {
+  const std::vector<double> actual = {100.0, 200.0};
+  const std::vector<double> predicted = {90.0, 220.0};
+  const auto err = mape(actual, predicted);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NEAR(*err, 0.1, 1e-12);
+}
+
+TEST(FreeStats, MapeSkipsZeroActuals) {
+  const std::vector<double> actual = {0.0, 100.0};
+  const std::vector<double> predicted = {5.0, 110.0};
+  const auto err = mape(actual, predicted);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NEAR(*err, 0.1, 1e-12);
+}
+
+TEST(FreeStats, MapeAllZeroActualsIsNullopt) {
+  const std::vector<double> actual = {0.0, 0.0};
+  const std::vector<double> predicted = {1.0, 2.0};
+  EXPECT_FALSE(mape(actual, predicted).has_value());
+}
+
+TEST(FreeStats, PredictionAccuracyClampsAtZero) {
+  const std::vector<double> actual = {10.0};
+  const std::vector<double> predicted = {100.0};
+  const auto acc = prediction_accuracy(actual, predicted);
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_DOUBLE_EQ(*acc, 0.0);
+}
+
+TEST(FreeStats, PredictionAccuracyPerfect) {
+  const std::vector<double> actual = {10.0, 20.0};
+  const auto acc = prediction_accuracy(actual, actual);
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+}
+
+TEST(FreeStats, VolumeWeightedAccuracyBasic) {
+  const std::vector<double> actual = {100.0, 0.0, 50.0};
+  const std::vector<double> predicted = {90.0, 10.0, 55.0};
+  // Σ|err| = 25, Σactual = 150 → accuracy = 1 - 1/6.
+  const auto acc = volume_weighted_accuracy(actual, predicted);
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_NEAR(*acc, 1.0 - 25.0 / 150.0, 1e-12);
+}
+
+TEST(FreeStats, VolumeWeightedAccuracyToleratesZeroActuals) {
+  // MAPE is undefined here; the volume-weighted form is not.
+  const std::vector<double> actual = {0.0, 0.0, 100.0};
+  const std::vector<double> predicted = {5.0, 5.0, 100.0};
+  const auto acc = volume_weighted_accuracy(actual, predicted);
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_NEAR(*acc, 0.9, 1e-12);
+}
+
+TEST(FreeStats, VolumeWeightedAccuracyAllZeroIsNullopt) {
+  const std::vector<double> actual = {0.0, 0.0};
+  const std::vector<double> predicted = {1.0, 1.0};
+  EXPECT_FALSE(volume_weighted_accuracy(actual, predicted).has_value());
+}
+
+TEST(FreeStats, VolumeWeightedAccuracyClampsAtZero) {
+  const std::vector<double> actual = {10.0};
+  const std::vector<double> predicted = {100.0};
+  const auto acc = volume_weighted_accuracy(actual, predicted);
+  ASSERT_TRUE(acc.has_value());
+  EXPECT_DOUBLE_EQ(*acc, 0.0);
+}
+
+TEST(FreeStats, RmseKnownValue) {
+  const std::vector<double> actual = {1.0, 2.0, 3.0};
+  const std::vector<double> predicted = {2.0, 2.0, 5.0};
+  EXPECT_NEAR(rmse(actual, predicted), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+// --------------------------------------------------------------------- CSV
+
+TEST(Csv, WriteReadRoundTrip) {
+  CsvWriter writer;
+  writer.set_header({"a", "b", "c"});
+  writer.add_row({"1", "hello", "2.5"});
+  writer.add_row({"2", "with,comma", "3.5"});
+  writer.add_row({"3", "with \"quotes\"", "4.5"});
+
+  const auto reader = CsvReader::parse(writer.to_string());
+  ASSERT_EQ(reader.row_count(), 3u);
+  EXPECT_EQ(reader.header().at(1), "b");
+  EXPECT_EQ(reader.cell(1, 1), "with,comma");
+  EXPECT_EQ(reader.cell(2, 1), "with \"quotes\"");
+  EXPECT_DOUBLE_EQ(reader.cell_double(0, 2), 2.5);
+}
+
+TEST(Csv, DoubleRowsRoundTripPrecision) {
+  CsvWriter writer;
+  writer.set_header({"x", "y"});
+  writer.add_row(std::vector<double>{1.0 / 3.0, 2.718281828459045});
+  const auto reader = CsvReader::parse(writer.to_string());
+  EXPECT_DOUBLE_EQ(reader.cell_double(0, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(reader.cell_double(0, 1), 2.718281828459045);
+}
+
+TEST(Csv, ColumnLookup) {
+  CsvWriter writer;
+  writer.set_header({"alpha", "beta"});
+  writer.add_row({"1", "2"});
+  const auto reader = CsvReader::parse(writer.to_string());
+  EXPECT_EQ(reader.column("beta"), 1u);
+  EXPECT_THROW(reader.column("gamma"), RuntimeError);
+}
+
+TEST(Csv, QuotedNewlinesSurvive) {
+  const std::string text = "h1,h2\n\"line1\nline2\",x\n";
+  const auto reader = CsvReader::parse(text);
+  ASSERT_EQ(reader.row_count(), 1u);
+  EXPECT_EQ(reader.cell(0, 0), "line1\nline2");
+}
+
+TEST(Csv, CrlfTolerated) {
+  const std::string text = "a,b\r\n1,2\r\n";
+  const auto reader = CsvReader::parse(text);
+  ASSERT_EQ(reader.row_count(), 1u);
+  EXPECT_EQ(reader.cell(0, 1), "2");
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(CsvReader::parse("a\n\"broken"), RuntimeError);
+}
+
+TEST(Csv, NonNumericCellThrows) {
+  const auto reader = CsvReader::parse("a\nxyz\n");
+  EXPECT_THROW(reader.cell_double(0, 0), RuntimeError);
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  CsvWriter writer;
+  writer.set_header({"a", "b"});
+  EXPECT_THROW(writer.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW(CsvReader::read_file("/nonexistent/definitely/missing.csv"),
+               RuntimeError);
+}
+
+// -------------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer-name", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name "), std::string::npos);
+  // All lines share the same width.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    if (next == std::string::npos) {
+      break;
+    }
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+}
+
+TEST(Table, RejectsWrongRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), PreconditionError);
+}
+
+TEST(Table, FixedAndPercentFormatting) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(percent(0.9504, 2), "95.04%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+}
+
+// -------------------------------------------------------------------- Clock
+
+TEST(Clock, IntervalArithmetic) {
+  EXPECT_EQ(interval_of(0.0, 300.0), 0);
+  EXPECT_EQ(interval_of(299.9, 300.0), 0);
+  EXPECT_EQ(interval_of(300.0, 300.0), 1);
+  EXPECT_DOUBLE_EQ(interval_start(2, 300.0), 600.0);
+}
+
+// -------------------------------------------------------------------- Error
+
+TEST(Error, ExpectsMacroThrowsWithContext) {
+  try {
+    DTMSV_EXPECTS_MSG(1 == 2, "math broke");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Error, EnsuresMacroThrowsInvariant) {
+  EXPECT_THROW(DTMSV_ENSURES(false), InvariantError);
+}
+
+}  // namespace

@@ -1,0 +1,330 @@
+// Unit tests for dtmsv::video — bitrate ladders, catalog generation with
+// Zipf popularity, the synthetic dataset generator's statistical shape, CSV
+// round-trips, and the transcoding cost model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "video/catalog.hpp"
+#include "video/dataset.hpp"
+#include "video/transcode.hpp"
+
+namespace {
+
+using namespace dtmsv::video;
+using dtmsv::util::PreconditionError;
+using dtmsv::util::Rng;
+
+// ----------------------------------------------------------------- category
+
+TEST(Category, SixCategoriesWithNames) {
+  EXPECT_EQ(all_categories().size(), kCategoryCount);
+  std::set<std::string> names;
+  for (const Category c : all_categories()) {
+    names.insert(to_string(c));
+  }
+  EXPECT_EQ(names.size(), kCategoryCount);
+  EXPECT_EQ(to_string(Category::kNews), "News");
+  EXPECT_EQ(to_string(Category::kGame), "Game");
+}
+
+// ------------------------------------------------------------ BitrateLadder
+
+TEST(BitrateLadder, StandardFiveRungs) {
+  const BitrateLadder ladder = BitrateLadder::standard();
+  EXPECT_EQ(ladder.rung_count(), 5u);
+  EXPECT_DOUBLE_EQ(ladder.bottom_kbps(), 750.0);
+  EXPECT_DOUBLE_EQ(ladder.top_kbps(), 4300.0);
+}
+
+TEST(BitrateLadder, RejectsNonAscending) {
+  EXPECT_THROW(BitrateLadder({100.0, 100.0}), PreconditionError);
+  EXPECT_THROW(BitrateLadder({200.0, 100.0}), PreconditionError);
+  EXPECT_THROW(BitrateLadder({-1.0, 100.0}), PreconditionError);
+  EXPECT_THROW(BitrateLadder({}), PreconditionError);
+}
+
+TEST(BitrateLadder, BestRungWithinBudget) {
+  const BitrateLadder ladder = BitrateLadder::standard();
+  EXPECT_EQ(ladder.best_rung_within(100.0), 0u);    // below lowest → rung 0
+  EXPECT_EQ(ladder.best_rung_within(750.0), 0u);
+  EXPECT_EQ(ladder.best_rung_within(1850.0), 2u);
+  EXPECT_EQ(ladder.best_rung_within(2000.0), 2u);
+  EXPECT_EQ(ladder.best_rung_within(99999.0), 4u);
+}
+
+// ----------------------------------------------------------------- Catalog
+
+CatalogConfig small_catalog() {
+  CatalogConfig cfg;
+  cfg.videos_per_category = 50;
+  return cfg;
+}
+
+TEST(Catalog, GeneratesRequestedSize) {
+  Rng rng(1);
+  const Catalog cat = Catalog::generate(small_catalog(), rng);
+  EXPECT_EQ(cat.size(), 50u * kCategoryCount);
+  for (const Category c : all_categories()) {
+    EXPECT_EQ(cat.category_videos(c).size(), 50u);
+  }
+}
+
+TEST(Catalog, VideoIdsAreDense) {
+  Rng rng(2);
+  const Catalog cat = Catalog::generate(small_catalog(), rng);
+  for (std::uint64_t id = 0; id < cat.size(); ++id) {
+    EXPECT_EQ(cat.video(id).id, id);
+  }
+  EXPECT_THROW(cat.video(cat.size()), PreconditionError);
+}
+
+TEST(Catalog, DurationsWithinConfiguredRange) {
+  Rng rng(3);
+  CatalogConfig cfg = small_catalog();
+  cfg.min_duration_s = 5.0;
+  cfg.max_duration_s = 60.0;
+  const Catalog cat = Catalog::generate(cfg, rng);
+  for (const auto& v : cat.videos()) {
+    EXPECT_GE(v.duration_s, 5.0 - 1e-9);
+    EXPECT_LE(v.duration_s, 60.0 + 1e-9);
+  }
+}
+
+TEST(Catalog, DurationsSkewShort) {
+  // Log-uniform durations: median ≈ sqrt(5·60) ≈ 17.3 < arithmetic mid 32.5.
+  Rng rng(4);
+  CatalogConfig cfg = small_catalog();
+  cfg.videos_per_category = 500;
+  const Catalog cat = Catalog::generate(cfg, rng);
+  std::vector<double> durations;
+  for (const auto& v : cat.videos()) {
+    durations.push_back(v.duration_s);
+  }
+  EXPECT_LT(dtmsv::util::percentile(durations, 50.0), 22.0);
+}
+
+TEST(Catalog, LadderJitterPreservesShape) {
+  Rng rng(5);
+  const Catalog cat = Catalog::generate(small_catalog(), rng);
+  for (const auto& v : cat.videos()) {
+    ASSERT_EQ(v.ladder.rung_count(), 5u);
+    // Jitter is a common scale: rung ratios match the standard ladder.
+    const double ratio = v.ladder.top_kbps() / v.ladder.bottom_kbps();
+    EXPECT_NEAR(ratio, 4300.0 / 750.0, 1e-9);
+  }
+}
+
+TEST(Catalog, ZipfSamplingPrefersLowRanks) {
+  Rng rng(6);
+  const Catalog cat = Catalog::generate(small_catalog(), rng);
+  std::size_t rank_sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const Video& v = cat.sample_from_category(Category::kNews, rng);
+    rank_sum += cat.popularity_rank(v.id);
+  }
+  const double mean_rank = static_cast<double>(rank_sum) / n;
+  // Uniform sampling would give mean rank 24.5; Zipf(0.9) over 50 gives ~11.
+  EXPECT_LT(mean_rank, 18.0);
+}
+
+TEST(Catalog, PopularityProbabilitiesSumToOne) {
+  Rng rng(7);
+  const Catalog cat = Catalog::generate(small_catalog(), rng);
+  double total = 0.0;
+  for (const std::uint64_t id : cat.category_videos(Category::kMusic)) {
+    total += cat.popularity_probability(id);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Catalog, DeterministicGivenSeed) {
+  Rng a(8);
+  Rng b(8);
+  const Catalog ca = Catalog::generate(small_catalog(), a);
+  const Catalog cb = Catalog::generate(small_catalog(), b);
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::uint64_t id = 0; id < ca.size(); ++id) {
+    EXPECT_DOUBLE_EQ(ca.video(id).duration_s, cb.video(id).duration_s);
+  }
+}
+
+// ----------------------------------------------------------------- Dataset
+
+DatasetConfig small_dataset() {
+  DatasetConfig cfg;
+  cfg.catalog.videos_per_category = 40;
+  cfg.user_count = 30;
+  cfg.sessions_per_user = 40;
+  return cfg;
+}
+
+TEST(Dataset, GeneratesExpectedTraceSize) {
+  Rng rng(9);
+  const Dataset ds = Dataset::generate(small_dataset(), rng);
+  EXPECT_EQ(ds.records().size(), 30u * 40u);
+  EXPECT_EQ(ds.user_count(), 30u);
+  EXPECT_EQ(ds.affinities().size(), 30u);
+}
+
+TEST(Dataset, WatchFractionsInUnitInterval) {
+  Rng rng(10);
+  const Dataset ds = Dataset::generate(small_dataset(), rng);
+  for (const auto& rec : ds.records()) {
+    EXPECT_GE(rec.watch_fraction, 0.0);
+    EXPECT_LE(rec.watch_fraction, 1.0);
+    EXPECT_NEAR(rec.watch_seconds, rec.watch_fraction * rec.duration_s, 1e-9);
+  }
+}
+
+TEST(Dataset, AffinityDrivesEngagement) {
+  // A user's favourite category must show a higher mean watch fraction than
+  // their least favourite, across the population.
+  Rng rng(11);
+  DatasetConfig cfg = small_dataset();
+  cfg.user_count = 60;
+  cfg.sessions_per_user = 120;
+  const Dataset ds = Dataset::generate(cfg, rng);
+
+  double fav_sum = 0.0;
+  std::size_t fav_n = 0;
+  double least_sum = 0.0;
+  std::size_t least_n = 0;
+  for (std::uint64_t u = 0; u < ds.user_count(); ++u) {
+    const auto& aff = ds.affinities()[u];
+    const auto fav = static_cast<Category>(
+        std::distance(aff.begin(), std::max_element(aff.begin(), aff.end())));
+    const auto least = static_cast<Category>(
+        std::distance(aff.begin(), std::min_element(aff.begin(), aff.end())));
+    for (const auto* rec : ds.records_of(u)) {
+      if (rec->category == fav) {
+        fav_sum += rec->watch_fraction;
+        ++fav_n;
+      } else if (rec->category == least) {
+        least_sum += rec->watch_fraction;
+        ++least_n;
+      }
+    }
+  }
+  ASSERT_GT(fav_n, 0u);
+  ASSERT_GT(least_n, 0u);
+  EXPECT_GT(fav_sum / fav_n, least_sum / least_n + 0.15);
+}
+
+TEST(Dataset, InstantSwipeSpikeExists) {
+  Rng rng(12);
+  DatasetConfig cfg = small_dataset();
+  cfg.instant_swipe_prob = 0.3;
+  cfg.user_count = 50;
+  cfg.sessions_per_user = 100;
+  const Dataset ds = Dataset::generate(cfg, rng);
+  std::size_t early = 0;
+  for (const auto& rec : ds.records()) {
+    if (rec.watch_fraction < 0.08) {
+      ++early;
+    }
+  }
+  const double early_rate = static_cast<double>(early) / ds.records().size();
+  EXPECT_GT(early_rate, 0.2);
+}
+
+TEST(Dataset, CsvRoundTrip) {
+  Rng rng(13);
+  const Dataset ds = Dataset::generate(small_dataset(), rng);
+  const std::string csv = ds.trace_to_csv();
+  const auto parsed = Dataset::trace_from_csv(csv);
+  ASSERT_EQ(parsed.size(), ds.records().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed[i].user_id, ds.records()[i].user_id);
+    EXPECT_EQ(parsed[i].video_id, ds.records()[i].video_id);
+    EXPECT_EQ(parsed[i].category, ds.records()[i].category);
+    EXPECT_DOUBLE_EQ(parsed[i].watch_fraction, ds.records()[i].watch_fraction);
+  }
+}
+
+TEST(Dataset, CsvUnknownCategoryRejected) {
+  const std::string bad =
+      "user_id,video_id,category,duration_s,watch_fraction,watch_seconds\n"
+      "0,0,Nonsense,10,0.5,5\n";
+  EXPECT_THROW(Dataset::trace_from_csv(bad), dtmsv::util::RuntimeError);
+}
+
+TEST(SampleWatchFraction, MeanIncreasesWithAffinity) {
+  DatasetConfig cfg;
+  cfg.instant_swipe_prob = 0.1;
+  Rng rng(14);
+  const auto mean_for = [&](double affinity) {
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      total += sample_watch_fraction(affinity, cfg, rng);
+    }
+    return total / n;
+  };
+  const double low = mean_for(0.05);
+  const double mid = mean_for(0.3);
+  const double high = mean_for(0.8);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+}
+
+TEST(SampleWatchFraction, RejectsOutOfRangeAffinity) {
+  DatasetConfig cfg;
+  Rng rng(15);
+  EXPECT_THROW(sample_watch_fraction(-0.1, cfg, rng), PreconditionError);
+  EXPECT_THROW(sample_watch_fraction(1.1, cfg, rng), PreconditionError);
+}
+
+// --------------------------------------------------------------- Transcode
+
+TEST(Transcode, TopRungIsFree) {
+  TranscodeModel model;
+  Video v;
+  v.duration_s = 30.0;
+  EXPECT_DOUBLE_EQ(model.transcode_cycles(v, v.ladder.rung_count() - 1, 30.0), 0.0);
+}
+
+TEST(Transcode, CyclesScaleWithBitrateAndTime) {
+  TranscodeModel model;
+  model.cycles_per_bit = 10.0;
+  Video v;
+  v.duration_s = 30.0;
+  const double c0 = model.transcode_cycles(v, 0, 10.0);
+  // rung 0 = 750 kbps → 10 s → 7.5e6 bits → 7.5e7 cycles.
+  EXPECT_DOUBLE_EQ(c0, 10.0 * 750.0 * 1e3 * 10.0);
+  // Twice the time, twice the cycles.
+  EXPECT_DOUBLE_EQ(model.transcode_cycles(v, 0, 20.0), 2.0 * c0);
+  // Higher rung costs more per second.
+  EXPECT_GT(model.transcode_cycles(v, 1, 10.0), c0);
+}
+
+TEST(Transcode, WatchTimeCappedAtDuration) {
+  TranscodeModel model;
+  Video v;
+  v.duration_s = 10.0;
+  EXPECT_DOUBLE_EQ(model.transcode_cycles(v, 0, 100.0),
+                   model.transcode_cycles(v, 0, 10.0));
+}
+
+TEST(Transcode, UtilisationFraction) {
+  TranscodeModel model;
+  model.capacity_cycles_per_s = 1e9;
+  EXPECT_DOUBLE_EQ(model.utilisation(5e8, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(model.utilisation(2e9, 4.0), 0.5);
+}
+
+TEST(Transcode, InvalidInputsRejected) {
+  TranscodeModel model;
+  Video v;
+  EXPECT_THROW(model.transcode_cycles(v, 99, 1.0), PreconditionError);
+  EXPECT_THROW(model.transcode_cycles(v, 0, -1.0), PreconditionError);
+  EXPECT_THROW(model.utilisation(-1.0, 1.0), PreconditionError);
+  EXPECT_THROW(model.utilisation(1.0, 0.0), PreconditionError);
+}
+
+}  // namespace
