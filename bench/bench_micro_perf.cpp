@@ -4,30 +4,67 @@
 // magnitude faster than the interval itself.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
 #include "analysis/swiping.hpp"
+#include "bench_to_json.hpp"
 #include "clustering/kmeans.hpp"
 #include "clustering/metrics.hpp"
 #include "core/feature_compressor.hpp"
 #include "core/group_constructor.hpp"
 #include "mobility/random_waypoint.hpp"
+#include "nn/conv1d.hpp"
+#include "nn/tensor.hpp"
 #include "predict/channel_predictor.hpp"
 #include "predict/demand.hpp"
 #include "rl/ddqn.hpp"
 #include "twin/udt.hpp"
+#include "util/parallel.hpp"
 #include "wireless/channel.hpp"
+
+// ------------------------------------------------------------ alloc probe
+// Global operator new/delete replacements that count heap allocations, so
+// benches can report allocs/iteration (e.g. to pin the zero-copy embed
+// path at a constant allocation count independent of user count).
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
 using namespace dtmsv;
 
 clustering::Points random_points(std::size_t n, std::size_t dim, util::Rng& rng) {
-  clustering::Points points(n, std::vector<double>(dim));
-  for (auto& p : points) {
-    for (double& v : p) {
-      v = rng.uniform();
-    }
+  clustering::Points points(n, dim);
+  double* rows = points.data();
+  for (std::size_t i = 0; i < n * dim; ++i) {
+    rows[i] = rng.uniform();
   }
   return points;
+}
+
+nn::Tensor random_tensor(nn::Shape shape, util::Rng& rng) {
+  nn::Tensor t(std::move(shape));
+  for (float& v : t.data()) {
+    v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
 }
 
 std::vector<std::vector<float>> random_windows(std::size_t n, std::size_t size,
@@ -70,14 +107,31 @@ void BM_Silhouette(benchmark::State& state) {
 }
 BENCHMARK(BM_Silhouette)->Arg(120)->Arg(500);
 
+void BM_SilhouetteSampled(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto points = random_points(static_cast<std::size_t>(state.range(0)), 8, rng);
+  const auto result = clustering::k_means(points, 8, rng);
+  util::Rng sample_rng(33);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        clustering::silhouette_sampled(points, result.assignment, 256, sample_rng));
+  }
+}
+BENCHMARK(BM_SilhouetteSampled)->Arg(500)->Arg(2000);
+
 void BM_CnnEmbed120Users(benchmark::State& state) {
   core::CompressorConfig cfg;  // 11 channels x 32 steps -> 8-d
   core::FeatureCompressor comp(cfg, 4);
   util::Rng rng(5);
   const auto windows = random_windows(120, comp.input_size(), rng);
+  benchmark::DoNotOptimize(comp.embed(windows));  // warm the batch buffer
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
   for (auto _ : state) {
     benchmark::DoNotOptimize(comp.embed(windows));
   }
+  const std::uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_CnnEmbed120Users);
 
@@ -229,6 +283,81 @@ void BM_PredictGroupDemand(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictGroupDemand);
 
+// ------------------------------------------------------- numeric kernels
+// Matmul / conv micro-kernels with a thread-scaling axis: range(0) is the
+// square matrix size, range(1) the pool thread count (restored to the
+// env/hardware default after each run).
+
+void BM_MatmulTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  util::Rng rng(21);
+  const auto a = random_tensor({n, n}, rng);
+  const auto b = random_tensor({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Tensor::matmul(a, b));
+  }
+  util::set_thread_count(0);
+  state.counters["flops"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * static_cast<double>(n) * static_cast<double>(n),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_MatmulTiled)->ArgsProduct({{128, 256}, {1, 2, 4}});
+
+void BM_MatmulBt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  util::Rng rng(22);
+  const auto a = random_tensor({n, n}, rng);
+  const auto b = random_tensor({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Tensor::matmul_bt(a, b));
+  }
+  util::set_thread_count(0);
+}
+BENCHMARK(BM_MatmulBt)->ArgsProduct({{256}, {1, 2, 4}});
+
+void BM_MatmulAt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::set_thread_count(static_cast<std::size_t>(state.range(1)));
+  util::Rng rng(23);
+  const auto a = random_tensor({n, n}, rng);
+  const auto b = random_tensor({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::Tensor::matmul_at(a, b));
+  }
+  util::set_thread_count(0);
+}
+BENCHMARK(BM_MatmulAt)->ArgsProduct({{256}, {1, 2, 4}});
+
+void BM_Conv1DForward(benchmark::State& state) {
+  util::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(24);
+  // The compressor's first stage at paper scale: 120 users, 11 channels,
+  // 32 timesteps, 16 filters of width 5.
+  nn::Conv1D conv(11, 16, 5, rng, /*stride=*/1, /*padding=*/2);
+  const auto input = random_tensor({120, 11, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(input));
+  }
+  util::set_thread_count(0);
+}
+BENCHMARK(BM_Conv1DForward)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_Conv1DBackward(benchmark::State& state) {
+  util::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(25);
+  nn::Conv1D conv(11, 16, 5, rng, /*stride=*/1, /*padding=*/2);
+  const auto input = random_tensor({120, 11, 32}, rng);
+  const auto upstream = random_tensor({120, 16, 32}, rng);
+  benchmark::DoNotOptimize(conv.forward(input));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.backward(upstream));
+  }
+  util::set_thread_count(0);
+}
+BENCHMARK(BM_Conv1DBackward)->Arg(1)->Arg(2)->Arg(4);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+DTMSV_BENCHMARK_MAIN_JSON("BENCH_micro_perf.json");

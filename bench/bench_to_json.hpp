@@ -1,0 +1,67 @@
+// Drop-in replacement for BENCHMARK_MAIN() that tees every run to a JSON
+// file, so the perf trajectory of each bench binary is machine-readable
+// without remembering google-benchmark's --benchmark_out flags.
+//
+// Usage (instead of BENCHMARK_MAIN()):
+//   DTMSV_BENCHMARK_MAIN_JSON("BENCH_micro_perf.json");
+//
+// The output path can be overridden at run time with the
+// DTMSV_BENCH_JSON environment variable; console output is unchanged.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dtmsv::bench {
+
+inline int run_benchmarks_with_json(int argc, char** argv,
+                                    const std::string& default_json_path) {
+  std::string json_path = default_json_path;
+  if (const char* env = std::getenv("DTMSV_BENCH_JSON")) {
+    json_path = env;
+  }
+
+  // Inject --benchmark_out flags unless the caller passed their own;
+  // google-benchmark then tees console output and a JSON file itself.
+  std::vector<std::string> args(argv, argv + argc);
+  bool has_out_flag = false;
+  for (const auto& a : args) {
+    if (a.rfind("--benchmark_out=", 0) == 0) {
+      has_out_flag = true;
+    }
+  }
+  if (!has_out_flag && !json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> raw;
+  raw.reserve(args.size());
+  for (auto& a : args) {
+    raw.push_back(a.data());
+  }
+  int raw_argc = static_cast<int>(raw.size());
+
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (!has_out_flag && !json_path.empty()) {
+    std::cout << "\nJSON results written to " << json_path << "\n";
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace dtmsv::bench
+
+#define DTMSV_BENCHMARK_MAIN_JSON(default_json_path)                          \
+  int main(int argc, char** argv) {                                           \
+    return ::dtmsv::bench::run_benchmarks_with_json(argc, argv,               \
+                                                    (default_json_path));     \
+  }

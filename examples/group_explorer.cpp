@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
   // Rebuild the embedding cloud the way the pipeline does, then let each
   // baseline choose K and cluster.
   const twin::FeatureScaling scaling{1200.0, 1000.0, 10.0, 40.0};
-  const auto summaries =
-      sim.twins().all_summary_features(sim.now(), config.feature_window_s, scaling);
+  const clustering::Points summaries(
+      sim.twins().all_summary_features(sim.now(), config.feature_window_s, scaling));
 
   util::Rng rng(1234);
   util::Table compare({"strategy", "K", "silhouette", "Davies-Bouldin"});

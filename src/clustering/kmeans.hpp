@@ -7,13 +7,14 @@
 #include <span>
 #include <vector>
 
+#include "clustering/point_matrix.hpp"
 #include "util/rng.hpp"
 
 namespace dtmsv::clustering {
 
-/// A point set: outer index = point, inner = feature. All points must share
-/// one dimensionality.
-using Points = std::vector<std::vector<double>>;
+/// A point set: flat row-major storage, one row per point (see
+/// clustering/point_matrix.hpp). All points share one dimensionality.
+using Points = PointMatrix;
 
 /// Squared Euclidean distance between two equal-length feature vectors.
 double squared_distance(std::span<const double> a, std::span<const double> b);

@@ -20,24 +20,85 @@ std::size_t cluster_count_of(const std::vector<std::size_t>& assignment) {
 
 Points centroids_of(const Points& points, const std::vector<std::size_t>& assignment,
                     std::size_t k, std::vector<std::size_t>& counts) {
-  const std::size_t dim = points.front().size();
-  Points centroids(k, std::vector<double>(dim, 0.0));
+  const std::size_t dim = points.dim();
+  const double* pts = points.data();
+  Points centroids(k, dim);
+  double* cents = centroids.data();
   counts.assign(k, 0);
   for (std::size_t i = 0; i < points.size(); ++i) {
     const std::size_t c = assignment[i];
     ++counts[c];
+    const double* prow = pts + i * dim;
+    double* crow = cents + c * dim;
     for (std::size_t d = 0; d < dim; ++d) {
-      centroids[c][d] += points[i][d];
+      crow[d] += prow[d];
     }
   }
   for (std::size_t c = 0; c < k; ++c) {
     if (counts[c] > 0) {
-      for (double& v : centroids[c]) {
-        v /= static_cast<double>(counts[c]);
+      double* crow = cents + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) {
+        crow[d] /= static_cast<double>(counts[c]);
       }
     }
   }
   return centroids;
+}
+
+inline double row_dist(const double* a, const double* b, std::size_t dim) {
+  double total = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    total += diff * diff;
+  }
+  return std::sqrt(total);
+}
+
+/// Silhouette contribution of point `i`, or 0 for singleton clusters.
+/// dist_sum is a reusable k-sized scratch buffer.
+double silhouette_of_point(const Points& points,
+                           const std::vector<std::size_t>& assignment,
+                           const std::vector<std::size_t>& sizes, std::size_t i,
+                           std::vector<double>& dist_sum) {
+  const std::size_t own = assignment[i];
+  if (sizes[own] <= 1) {
+    return 0.0;
+  }
+  const std::size_t dim = points.dim();
+  const double* pts = points.data();
+  const double* pi = pts + i * dim;
+  std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (j == i) {
+      continue;
+    }
+    dist_sum[assignment[j]] += row_dist(pi, pts + j * dim, dim);
+  }
+  const double a = dist_sum[own] / static_cast<double>(sizes[own] - 1);
+  double b = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < dist_sum.size(); ++c) {
+    if (c == own || sizes[c] == 0) {
+      continue;
+    }
+    b = std::min(b, dist_sum[c] / static_cast<double>(sizes[c]));
+  }
+  const double denom = std::max(a, b);
+  return denom > 0.0 ? (b - a) / denom : 0.0;
+}
+
+std::vector<std::size_t> cluster_sizes_of(const std::vector<std::size_t>& assignment,
+                                          std::size_t k) {
+  std::vector<std::size_t> sizes(k, 0);
+  for (const std::size_t a : assignment) {
+    ++sizes[a];
+  }
+  return sizes;
+}
+
+bool fewer_than_two_live(const std::vector<std::size_t>& sizes) {
+  const auto non_empty = static_cast<std::size_t>(
+      std::count_if(sizes.begin(), sizes.end(), [](std::size_t s) { return s > 0; }));
+  return non_empty < 2;
 }
 
 }  // namespace
@@ -48,45 +109,41 @@ double silhouette(const Points& points, const std::vector<std::size_t>& assignme
     return 0.0;
   }
   const std::size_t k = cluster_count_of(assignment);
-  std::vector<std::size_t> sizes(k, 0);
-  for (const std::size_t a : assignment) {
-    ++sizes[a];
-  }
-  const auto non_empty =
-      static_cast<std::size_t>(std::count_if(sizes.begin(), sizes.end(),
-                                             [](std::size_t s) { return s > 0; }));
-  if (non_empty < 2) {
+  const std::vector<std::size_t> sizes = cluster_sizes_of(assignment, k);
+  if (fewer_than_two_live(sizes)) {
     return 0.0;
   }
 
   double total = 0.0;
+  std::vector<double> dist_sum(k);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const std::size_t own = assignment[i];
-    if (sizes[own] <= 1) {
-      continue;  // contributes 0
-    }
-    // Mean distance to own cluster (a) and nearest other cluster (b).
-    std::vector<double> dist_sum(k, 0.0);
-    for (std::size_t j = 0; j < points.size(); ++j) {
-      if (j == i) {
-        continue;
-      }
-      dist_sum[assignment[j]] += distance(points[i], points[j]);
-    }
-    const double a = dist_sum[own] / static_cast<double>(sizes[own] - 1);
-    double b = std::numeric_limits<double>::infinity();
-    for (std::size_t c = 0; c < k; ++c) {
-      if (c == own || sizes[c] == 0) {
-        continue;
-      }
-      b = std::min(b, dist_sum[c] / static_cast<double>(sizes[c]));
-    }
-    const double denom = std::max(a, b);
-    if (denom > 0.0) {
-      total += (b - a) / denom;
-    }
+    total += silhouette_of_point(points, assignment, sizes, i, dist_sum);
   }
   return total / static_cast<double>(points.size());
+}
+
+double silhouette_sampled(const Points& points,
+                          const std::vector<std::size_t>& assignment,
+                          std::size_t max_samples, util::Rng& rng) {
+  DTMSV_EXPECTS(points.size() == assignment.size());
+  DTMSV_EXPECTS_MSG(max_samples >= 1, "silhouette_sampled: need at least one sample");
+  if (max_samples >= points.size()) {
+    return silhouette(points, assignment);
+  }
+  const std::size_t k = cluster_count_of(assignment);
+  const std::vector<std::size_t> sizes = cluster_sizes_of(assignment, k);
+  if (fewer_than_two_live(sizes)) {
+    return 0.0;
+  }
+
+  const std::vector<std::size_t> samples =
+      rng.sample_without_replacement(points.size(), max_samples);
+  double total = 0.0;
+  std::vector<double> dist_sum(k);
+  for (const std::size_t i : samples) {
+    total += silhouette_of_point(points, assignment, sizes, i, dist_sum);
+  }
+  return total / static_cast<double>(samples.size());
 }
 
 double davies_bouldin(const Points& points, const std::vector<std::size_t>& assignment) {
@@ -99,9 +156,12 @@ double davies_bouldin(const Points& points, const std::vector<std::size_t>& assi
   const Points centroids = centroids_of(points, assignment, k, counts);
 
   // Mean intra-cluster scatter per cluster.
+  const std::size_t dim = points.dim();
+  const double* pts = points.data();
+  const double* cents = centroids.data();
   std::vector<double> scatter(k, 0.0);
   for (std::size_t i = 0; i < points.size(); ++i) {
-    scatter[assignment[i]] += distance(points[i], centroids[assignment[i]]);
+    scatter[assignment[i]] += row_dist(pts + i * dim, cents + assignment[i] * dim, dim);
   }
   std::vector<std::size_t> live;
   for (std::size_t c = 0; c < k; ++c) {
@@ -121,7 +181,7 @@ double davies_bouldin(const Points& points, const std::vector<std::size_t>& assi
       if (ci == cj) {
         continue;
       }
-      const double sep = distance(centroids[ci], centroids[cj]);
+      const double sep = row_dist(cents + ci * dim, cents + cj * dim, dim);
       if (sep > 0.0) {
         worst = std::max(worst, (scatter[ci] + scatter[cj]) / sep);
       }
@@ -157,11 +217,13 @@ double calinski_harabasz(const Points& points, const std::vector<std::size_t>& a
     return 0.0;
   }
 
-  const std::size_t dim = points.front().size();
+  const std::size_t dim = points.dim();
+  const double* pts = points.data();
   std::vector<double> global(dim, 0.0);
-  for (const auto& p : points) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* prow = pts + i * dim;
     for (std::size_t d = 0; d < dim; ++d) {
-      global[d] += p[d];
+      global[d] += prow[d];
     }
   }
   for (double& v : global) {
@@ -173,7 +235,8 @@ double calinski_harabasz(const Points& points, const std::vector<std::size_t>& a
     if (counts[c] == 0) {
       continue;
     }
-    between += static_cast<double>(counts[c]) * squared_distance(centroids[c], global);
+    between += static_cast<double>(counts[c]) *
+               squared_distance(centroids[c], std::span<const double>(global));
   }
   double within = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -1,0 +1,101 @@
+#include "clustering/point_matrix.hpp"
+
+#include <algorithm>
+
+namespace dtmsv::clustering {
+
+PointMatrix::PointMatrix(std::size_t rows, std::size_t dim)
+    : rows_(rows), dim_(dim), data_(rows * dim, 0.0) {
+  DTMSV_EXPECTS_MSG(dim > 0, "PointMatrix: zero-dimensional points");
+}
+
+PointMatrix::PointMatrix(std::size_t rows, std::size_t dim, std::vector<double> values)
+    : rows_(rows), dim_(dim), data_(std::move(values)) {
+  DTMSV_EXPECTS_MSG(dim > 0, "PointMatrix: zero-dimensional points");
+  DTMSV_EXPECTS_MSG(data_.size() == rows * dim,
+                    "PointMatrix: value count does not match rows*dim");
+}
+
+PointMatrix::PointMatrix(std::size_t rows, const std::vector<double>& point)
+    : rows_(rows), dim_(point.size()), data_(rows * point.size()) {
+  DTMSV_EXPECTS_MSG(dim_ > 0, "PointMatrix: zero-dimensional points");
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::copy(point.begin(), point.end(), data_.begin() + static_cast<std::ptrdiff_t>(i * dim_));
+  }
+}
+
+PointMatrix::PointMatrix(std::initializer_list<std::initializer_list<double>> rows) {
+  data_.reserve(rows.size() * (rows.size() > 0 ? rows.begin()->size() : 0));
+  for (const auto& r : rows) {
+    push_back(std::span<const double>(r.begin(), r.size()));
+  }
+}
+
+PointMatrix::PointMatrix(const std::vector<std::vector<double>>& rows) {
+  if (!rows.empty()) {
+    data_.reserve(rows.size() * rows.front().size());
+  }
+  for (const auto& r : rows) {
+    push_back(r);
+  }
+}
+
+void PointMatrix::reserve(std::size_t rows) {
+  reserve_rows_ = rows;
+  if (dim_ > 0) {
+    data_.reserve(rows * dim_);
+  }
+}
+
+void PointMatrix::clear() {
+  rows_ = 0;
+  data_.clear();
+}
+
+void PointMatrix::push_back(std::span<const double> point) {
+  if (rows_ == 0 && dim_ == 0) {
+    DTMSV_EXPECTS_MSG(!point.empty(), "PointMatrix: zero-dimensional points");
+    dim_ = point.size();
+    if (reserve_rows_ > 0) {
+      data_.reserve(reserve_rows_ * dim_);
+    }
+  }
+  DTMSV_EXPECTS_MSG(point.size() == dim_, "PointMatrix: inconsistent dimensionality");
+  data_.insert(data_.end(), point.begin(), point.end());
+  ++rows_;
+}
+
+std::span<double> PointMatrix::append_row() {
+  DTMSV_EXPECTS_MSG(dim_ > 0, "PointMatrix: dimensionality not yet fixed");
+  data_.resize(data_.size() + dim_, 0.0);
+  ++rows_;
+  return (*this)[rows_ - 1];
+}
+
+std::span<double> PointMatrix::operator[](std::size_t i) {
+  DTMSV_EXPECTS(i < rows_);
+  return {data_.data() + i * dim_, dim_};
+}
+
+std::span<const double> PointMatrix::operator[](std::size_t i) const {
+  DTMSV_EXPECTS(i < rows_);
+  return {data_.data() + i * dim_, dim_};
+}
+
+bool PointMatrix::contains(std::span<const double> point) const {
+  if (point.size() != dim_) {
+    return false;
+  }
+  for (std::size_t i = 0; i < rows_; ++i) {
+    if (std::equal(point.begin(), point.end(), data_.begin() + static_cast<std::ptrdiff_t>(i * dim_))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PointMatrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace dtmsv::clustering

@@ -1,0 +1,115 @@
+// Flat row-major point storage for the clustering layer.
+//
+// The seed stored point sets as vector<vector<double>> — one heap block
+// per point, so every distance computation chased a pointer and k-means
+// walked the allocator instead of the cache. PointMatrix keeps all points
+// in one contiguous buffer and hands out std::span row views; rows of a
+// matrix vectorise, and copying/building a point set is one allocation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dtmsv::clustering {
+
+/// A set of equal-dimension points stored contiguously, row-major.
+/// Dimensionality is fixed by the first row appended (or the constructor)
+/// and enforced on every subsequent append.
+class PointMatrix {
+ public:
+  /// Empty set; dimensionality set by the first push_back.
+  PointMatrix() = default;
+
+  /// `rows` zero-initialised points of dimension `dim` (> 0).
+  PointMatrix(std::size_t rows, std::size_t dim);
+
+  /// Takes ownership of a row-major buffer (values.size() == rows*dim).
+  PointMatrix(std::size_t rows, std::size_t dim, std::vector<double> values);
+
+  /// `rows` copies of one point (the seed's (count, row) vector idiom).
+  PointMatrix(std::size_t rows, const std::vector<double>& point);
+
+  /// Literal point set; rows must agree in dimension.
+  PointMatrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Copies a nested-vector point set (bridge for legacy producers).
+  explicit PointMatrix(const std::vector<std::vector<double>>& rows);
+
+  std::size_t size() const { return rows_; }
+  std::size_t dim() const { return dim_; }
+  bool empty() const { return rows_ == 0; }
+
+  /// Pre-allocates for `rows` points (applied once dimensionality is known).
+  void reserve(std::size_t rows);
+  void clear();
+
+  /// Appends a point; fixes the dimensionality on the first call.
+  void push_back(std::span<const double> point);
+  void push_back(std::initializer_list<double> point) {
+    push_back(std::span<const double>(point.begin(), point.size()));
+  }
+  /// Appends a zero point and returns a mutable view of it.
+  std::span<double> append_row();
+
+  std::span<double> operator[](std::size_t i);
+  std::span<const double> operator[](std::size_t i) const;
+  std::span<double> row(std::size_t i) { return (*this)[i]; }
+  std::span<const double> row(std::size_t i) const { return (*this)[i]; }
+
+  /// True when some row equals `point` elementwise.
+  bool contains(std::span<const double> point) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  /// The whole buffer, row-major.
+  std::span<const double> values() const { return data_; }
+
+  void fill(double value);
+
+  friend bool operator==(const PointMatrix& a, const PointMatrix& b) {
+    return a.rows_ == b.rows_ && a.dim_ == b.dim_ && a.data_ == b.data_;
+  }
+
+  /// Forward iterator over const row views (enables range-for).
+  class const_iterator {
+   public:
+    using value_type = std::span<const double>;
+    using difference_type = std::ptrdiff_t;
+
+    const_iterator() = default;
+    const_iterator(const double* p, std::size_t dim) : p_(p), dim_(dim) {}
+
+    value_type operator*() const { return {p_, dim_}; }
+    const_iterator& operator++() {
+      p_ += dim_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator old = *this;
+      ++*this;
+      return old;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.p_ == b.p_;
+    }
+
+   private:
+    const double* p_ = nullptr;
+    std::size_t dim_ = 0;
+  };
+
+  const_iterator begin() const { return {data_.data(), dim_}; }
+  const_iterator end() const { return {data_.data() + rows_ * dim_, dim_}; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t reserve_rows_ = 0;  // hint recorded before dim_ is known
+  std::vector<double> data_;
+};
+
+}  // namespace dtmsv::clustering

@@ -49,9 +49,11 @@ std::size_t ElbowKSelector::select_k(const Points& points, util::Rng& rng) {
   return best_k;
 }
 
-SilhouetteSweepSelector::SilhouetteSweepSelector(std::size_t k_min, std::size_t k_max)
-    : k_min_(k_min), k_max_(k_max) {
+SilhouetteSweepSelector::SilhouetteSweepSelector(std::size_t k_min, std::size_t k_max,
+                                                 std::size_t sample_cap)
+    : k_min_(k_min), k_max_(k_max), sample_cap_(sample_cap) {
   DTMSV_EXPECTS(k_min >= 1 && k_min <= k_max);
+  DTMSV_EXPECTS(sample_cap >= 1);
 }
 
 std::size_t SilhouetteSweepSelector::select_k(const Points& points, util::Rng& rng) {
@@ -67,7 +69,10 @@ std::size_t SilhouetteSweepSelector::select_k(const Points& points, util::Rng& r
   double best_score = -std::numeric_limits<double>::infinity();
   for (std::size_t k = lo; k <= hi; ++k) {
     const auto result = k_means(points, k, rng, opts);
-    const double score = silhouette(points, result.assignment);
+    // Sampled silhouette keeps the sweep sub-quadratic on large clouds;
+    // below the cap it is the exact metric and draws nothing from rng.
+    const double score =
+        silhouette_sampled(points, result.assignment, sample_cap_, rng);
     if (score > best_score) {
       best_score = score;
       best_k = k;

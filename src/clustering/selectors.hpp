@@ -7,6 +7,7 @@
 #include <string>
 
 #include "clustering/kmeans.hpp"
+#include "clustering/metrics.hpp"
 
 namespace dtmsv::clustering {
 
@@ -48,16 +49,20 @@ class ElbowKSelector final : public KSelector {
 };
 
 /// Silhouette sweep: picks the K in [k_min, k_max] with best silhouette.
-/// Accurate but O(range · n²) — the "slow oracle" the DDQN approximates.
+/// The "slow oracle" the DDQN approximates; beyond `sample_cap` points
+/// the silhouette is estimated from a sample so the sweep stays
+/// O(range · cap · n) instead of O(range · n²).
 class SilhouetteSweepSelector final : public KSelector {
  public:
-  SilhouetteSweepSelector(std::size_t k_min, std::size_t k_max);
+  SilhouetteSweepSelector(std::size_t k_min, std::size_t k_max,
+                          std::size_t sample_cap = kDefaultSilhouetteSampleCap);
   std::size_t select_k(const Points& points, util::Rng& rng) override;
   std::string name() const override { return "silhouette-sweep"; }
 
  private:
   std::size_t k_min_;
   std::size_t k_max_;
+  std::size_t sample_cap_;
 };
 
 /// Uniform-random K in [k_min, k_max] (lower-bound baseline).

@@ -42,27 +42,30 @@ FeatureCompressor::FeatureCompressor(const CompressorConfig& config, std::uint64
   optimizer_ = std::make_unique<nn::Adam>(std::move(params), config.learning_rate);
 }
 
-nn::Tensor FeatureCompressor::to_batch(const std::vector<std::vector<float>>& windows,
-                                       std::size_t begin, std::size_t end) const {
+nn::Tensor& FeatureCompressor::gather_batch(
+    const std::vector<std::vector<float>>& windows, const std::size_t* indices,
+    std::size_t begin, std::size_t end) {
   DTMSV_EXPECTS(begin < end && end <= windows.size());
   const std::size_t n = end - begin;
-  nn::Tensor batch({n, config_.channels, config_.timesteps});
-  auto data = batch.data();
+  if (batch_.rank() != 3 || batch_.dim(0) != n) {
+    batch_ = nn::Tensor({n, config_.channels, config_.timesteps});
+  }
+  auto data = batch_.data();
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& w = windows[begin + i];
+    const auto& w = windows[indices != nullptr ? indices[begin + i] : begin + i];
     DTMSV_EXPECTS_MSG(w.size() == input_size(),
                       "FeatureCompressor: window size mismatch");
     std::copy(w.begin(), w.end(), data.begin() + static_cast<std::ptrdiff_t>(i * w.size()));
   }
-  return batch;
+  return batch_;
 }
 
 float FeatureCompressor::fit(const std::vector<std::vector<float>>& windows) {
   DTMSV_EXPECTS(!windows.empty());
   float last_epoch_loss = 0.0f;
+  std::vector<std::size_t> order(windows.size());
   for (std::size_t epoch = 0; epoch < config_.epochs_per_fit; ++epoch) {
     // Shuffled minibatch order each epoch.
-    std::vector<std::size_t> order(windows.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
       order[i] = i;
     }
@@ -72,14 +75,8 @@ float FeatureCompressor::fit(const std::vector<std::vector<float>>& windows) {
     std::size_t batches = 0;
     for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
       const std::size_t stop = std::min(start + config_.batch_size, order.size());
-      std::vector<std::vector<float>> batch_windows;
-      batch_windows.reserve(stop - start);
-      for (std::size_t i = start; i < stop; ++i) {
-        batch_windows.push_back(windows[order[i]]);
-      }
-      const nn::Tensor input = to_batch(batch_windows, 0, batch_windows.size());
-      const nn::Tensor target =
-          input.reshaped({batch_windows.size(), input_size()});
+      const nn::Tensor& input = gather_batch(windows, order.data(), start, stop);
+      const nn::Tensor target = input.reshaped({stop - start, input_size()});
 
       const nn::Tensor embedding = encoder_->forward(input);
       const nn::Tensor reconstruction = decoder_->forward(embedding);
@@ -103,15 +100,16 @@ float FeatureCompressor::fit(const std::vector<std::vector<float>>& windows) {
 clustering::Points FeatureCompressor::embed(
     const std::vector<std::vector<float>>& windows) {
   DTMSV_EXPECTS(!windows.empty());
-  const nn::Tensor input = to_batch(windows, 0, windows.size());
+  const nn::Tensor& input = gather_batch(windows, nullptr, 0, windows.size());
   const nn::Tensor embedding = encoder_->forward(input);
 
-  clustering::Points points(windows.size(),
-                            std::vector<double>(config_.embedding_dim, 0.0));
-  for (std::size_t i = 0; i < windows.size(); ++i) {
-    for (std::size_t d = 0; d < config_.embedding_dim; ++d) {
-      points[i][d] = embedding.at2(i, d);
-    }
+  // Write straight into the flat point matrix: one allocation for the
+  // whole embedding cloud instead of one per user.
+  clustering::Points points(windows.size(), config_.embedding_dim);
+  double* rows = points.data();
+  const float* emb = embedding.data().data();
+  for (std::size_t i = 0; i < windows.size() * config_.embedding_dim; ++i) {
+    rows[i] = static_cast<double>(emb[i]);
   }
   return points;
 }
@@ -119,7 +117,7 @@ clustering::Points FeatureCompressor::embed(
 float FeatureCompressor::reconstruction_loss(
     const std::vector<std::vector<float>>& windows) {
   DTMSV_EXPECTS(!windows.empty());
-  const nn::Tensor input = to_batch(windows, 0, windows.size());
+  const nn::Tensor& input = gather_batch(windows, nullptr, 0, windows.size());
   const nn::Tensor target = input.reshaped({windows.size(), input_size()});
   const nn::Tensor reconstruction = decoder_->forward(encoder_->forward(input));
   return nn::mse_loss(reconstruction, target).value;

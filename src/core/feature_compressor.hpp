@@ -49,14 +49,19 @@ class FeatureCompressor {
   nn::Sequential& decoder() { return *decoder_; }
 
  private:
-  nn::Tensor to_batch(const std::vector<std::vector<float>>& windows,
-                      std::size_t begin, std::size_t end) const;
+  /// Gathers windows[indices[begin..end)] (or windows[begin..end) when
+  /// indices is null) into the reused batch_ tensor — one copy, no
+  /// per-window allocations.
+  nn::Tensor& gather_batch(const std::vector<std::vector<float>>& windows,
+                           const std::size_t* indices, std::size_t begin,
+                           std::size_t end);
 
   CompressorConfig config_;
   util::Rng rng_;
   std::unique_ptr<nn::Sequential> encoder_;  // [N,C,T] -> [N,emb]
   std::unique_ptr<nn::Sequential> decoder_;  // [N,emb] -> [N,C*T]
   std::unique_ptr<nn::Adam> optimizer_;
+  nn::Tensor batch_;  // reused [N,C,T] staging buffer for fit/embed
 };
 
 }  // namespace dtmsv::core

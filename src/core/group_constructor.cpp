@@ -108,7 +108,10 @@ GroupingDecision GroupConstructor::construct(const clustering::Points& embedding
   const auto result = clustering::k_means(embeddings, k, rng, config_.kmeans);
   decision.assignment = result.assignment;
   decision.centroids = result.centroids;
-  decision.silhouette = clustering::silhouette(embeddings, result.assignment);
+  // Sampled silhouette keeps the per-interval reward O(n) beyond ~2k
+  // users; below the cap it is exact and consumes no rng draws.
+  decision.silhouette = clustering::silhouette_sampled(
+      embeddings, result.assignment, config_.silhouette_sample_cap, rng);
 
   const double k_span =
       std::max<double>(1.0, static_cast<double>(config_.k_max - config_.k_min));

@@ -33,6 +33,10 @@ struct GroupConstructorConfig {
   double silhouette_weight = 1.0;
   double k_cost_weight = 0.1;
   double error_weight = 3.0;
+  /// Beyond this many users the reward's silhouette term is estimated from
+  /// a sample of this size (exact below it), keeping the interval loop
+  /// sub-quadratic at scale.
+  std::size_t silhouette_sample_cap = clustering::kDefaultSilhouetteSampleCap;
   std::size_t train_steps_per_interval = 8;
   /// DDQN hyperparameters rescaled for interval-granularity decisions (one
   /// action per reservation interval, so exploration must decay over tens

@@ -319,15 +319,21 @@ clustering::Points Simulation::build_features(float* reconstruction_loss) {
     case FeatureMode::kRawWindow: {
       const auto windows = twins_->all_feature_windows(
           now_, config_.feature_window_s, config_.feature_timesteps, scaling);
-      clustering::Points points;
-      points.reserve(windows.size());
+      if (windows.empty()) {
+        return {};
+      }
+      clustering::Points points(windows.size(), windows.front().size());
+      double* rows = points.data();
       for (const auto& w : windows) {
-        points.emplace_back(w.begin(), w.end());
+        for (const float v : w) {
+          *rows++ = static_cast<double>(v);
+        }
       }
       return points;
     }
     case FeatureMode::kSummaryStats:
-      return twins_->all_summary_features(now_, config_.feature_window_s, scaling);
+      return clustering::Points(
+          twins_->all_summary_features(now_, config_.feature_window_s, scaling));
   }
   throw util::PreconditionError("unknown FeatureMode");
 }
@@ -347,7 +353,8 @@ void Simulation::rebuild_groups(const clustering::Points& points, EpochReport& r
     const auto result = clustering::k_means(points, k, cluster_rng_,
                                             config_.grouping.kmeans);
     assignment = result.assignment;
-    report.silhouette = clustering::silhouette(points, assignment);
+    report.silhouette = clustering::silhouette_sampled(
+        points, assignment, config_.grouping.silhouette_sample_cap, cluster_rng_);
   }
   report.k = k;
 

@@ -1,5 +1,7 @@
 #include "nn/conv1d.hpp"
 
+#include <algorithm>
+
 #include "nn/init.hpp"
 
 namespace dtmsv::nn {
@@ -28,27 +30,47 @@ std::size_t Conv1D::output_length(std::size_t input_length) const {
 Tensor Conv1D::forward(const Tensor& input) {
   DTMSV_EXPECTS_MSG(input.rank() == 3 && input.dim(1) == in_channels_,
                     "Conv1D: input must be [N, in_channels, L]");
-  input_ = input;
+  input_shape_ = input.shape();
   const std::size_t n = input.dim(0);
   const std::size_t len = input.dim(2);
   const std::size_t out_len = output_length(len);
+  const std::size_t patch = in_channels_ * kernel_;
 
+  // im2col: patches_[b*out_len + t] holds the zero-padded receptive field
+  // of output position (b, t), channel-major to match the weight layout.
+  patches_ = Tensor({n * out_len, patch});
+  const float* in = input.data().data();
+  float* rows = patches_.data().data();
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t t = 0; t < out_len; ++t) {
+      float* prow = rows + (b * out_len + t) * patch;
+      const std::size_t pos0 = t * stride_;  // window start in padded coords
+      for (std::size_t c = 0; c < in_channels_; ++c) {
+        const float* irow = in + (b * in_channels_ + c) * len;
+        float* pseg = prow + c * kernel_;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          const std::size_t pos = pos0 + k;
+          pseg[k] = (pos < padding_ || pos >= padding_ + len)
+                        ? 0.0f
+                        : irow[pos - padding_];
+        }
+      }
+    }
+  }
+
+  // [N*L_out, patch] · [F, patch]ᵀ -> [N*L_out, F], then fold the F axis
+  // back inside while adding the bias.
+  const Tensor out2d = Tensor::matmul_bt(patches_, w_.reshaped({out_channels_, patch}));
   Tensor out({n, out_channels_, out_len});
+  const float* o2 = out2d.data().data();
+  float* o3 = out.data().data();
+  const float* bias = b_.data().data();
   for (std::size_t b = 0; b < n; ++b) {
     for (std::size_t f = 0; f < out_channels_; ++f) {
+      float* orow = o3 + (b * out_channels_ + f) * out_len;
+      const float bf = bias[f];
       for (std::size_t t = 0; t < out_len; ++t) {
-        float acc = b_[f];
-        for (std::size_t c = 0; c < in_channels_; ++c) {
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            // Position in the zero-padded input.
-            const std::size_t pos = t * stride_ + k;
-            if (pos < padding_ || pos >= padding_ + len) {
-              continue;
-            }
-            acc += w_.at3(f, c, k) * input.at3(b, c, pos - padding_);
-          }
-        }
-        out.at3(b, f, t) = acc;
+        orow[t] = o2[(b * out_len + t) * out_channels_ + f] + bf;
       }
     }
   }
@@ -56,31 +78,60 @@ Tensor Conv1D::forward(const Tensor& input) {
 }
 
 Tensor Conv1D::backward(const Tensor& grad_output) {
-  DTMSV_EXPECTS_MSG(!input_.empty(), "Conv1D: backward before forward");
-  const std::size_t n = input_.dim(0);
-  const std::size_t len = input_.dim(2);
+  DTMSV_EXPECTS_MSG(!patches_.empty(), "Conv1D: backward before forward");
+  const std::size_t n = input_shape_[0];
+  const std::size_t len = input_shape_[2];
   const std::size_t out_len = output_length(len);
   DTMSV_EXPECTS(grad_output.rank() == 3 && grad_output.dim(0) == n &&
                 grad_output.dim(1) == out_channels_ && grad_output.dim(2) == out_len);
+  const std::size_t patch = in_channels_ * kernel_;
 
-  Tensor grad_input({n, in_channels_, len});
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t f = 0; f < out_channels_; ++f) {
-      for (std::size_t t = 0; t < out_len; ++t) {
-        const float g = grad_output.at3(b, f, t);
-        if (g == 0.0f) {
-          continue;
+  // Transpose grad to [N*L_out, F] (the im2col row layout) and reduce the
+  // bias gradient on the way through.
+  Tensor g2d({n * out_len, out_channels_});
+  {
+    const float* g3 = grad_output.data().data();
+    float* g2 = g2d.data().data();
+    float* bg = b_grad_.data().data();
+    for (std::size_t b = 0; b < n; ++b) {
+      for (std::size_t f = 0; f < out_channels_; ++f) {
+        const float* grow = g3 + (b * out_channels_ + f) * out_len;
+        float acc = 0.0f;
+        for (std::size_t t = 0; t < out_len; ++t) {
+          g2[(b * out_len + t) * out_channels_ + f] = grow[t];
+          acc += grow[t];
         }
-        b_grad_[f] += g;
-        for (std::size_t c = 0; c < in_channels_; ++c) {
-          for (std::size_t k = 0; k < kernel_; ++k) {
-            const std::size_t pos = t * stride_ + k;
-            if (pos < padding_ || pos >= padding_ + len) {
-              continue;
-            }
-            const std::size_t x_pos = pos - padding_;
-            w_grad_.at3(f, c, k) += g * input_.at3(b, c, x_pos);
-            grad_input.at3(b, c, x_pos) += g * w_.at3(f, c, k);
+        bg[f] += acc;
+      }
+    }
+  }
+
+  // dL/dW = g2dᵀ · patches ; dL/dpatches = g2d · W.
+  const Tensor wg2d = Tensor::matmul_at(g2d, patches_);  // [F, patch]
+  {
+    const float* src = wg2d.data().data();
+    float* dst = w_grad_.data().data();
+    for (std::size_t i = 0; i < w_grad_.size(); ++i) {
+      dst[i] += src[i];
+    }
+  }
+  const Tensor grad_patches = Tensor::matmul(g2d, w_.reshaped({out_channels_, patch}));
+
+  // col2im: scatter-add patch gradients back to input positions.
+  Tensor grad_input(input_shape_);
+  const float* gp = grad_patches.data().data();
+  float* gi = grad_input.data().data();
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t t = 0; t < out_len; ++t) {
+      const float* prow = gp + (b * out_len + t) * patch;
+      const std::size_t pos0 = t * stride_;
+      for (std::size_t c = 0; c < in_channels_; ++c) {
+        float* irow = gi + (b * in_channels_ + c) * len;
+        const float* pseg = prow + c * kernel_;
+        for (std::size_t k = 0; k < kernel_; ++k) {
+          const std::size_t pos = pos0 + k;
+          if (pos >= padding_ && pos < padding_ + len) {
+            irow[pos - padding_] += pseg[k];
           }
         }
       }

@@ -38,11 +38,15 @@ class Conv1D final : public Layer {
   std::size_t kernel_;
   std::size_t stride_;
   std::size_t padding_;
-  Tensor w_;       // [out_ch, in_ch, kernel]
-  Tensor b_;       // [out_ch]
+  Tensor w_;        // [out_ch, in_ch, kernel]
+  Tensor b_;        // [out_ch]
   Tensor w_grad_;
   Tensor b_grad_;
-  Tensor input_;   // cached [N, in_ch, L]
+  // im2col scratch cached between forward and backward: each output
+  // position becomes one row of [N*L_out, in_ch*kernel], so both passes
+  // reduce to the tiled matmul kernels.
+  Tensor patches_;
+  Shape input_shape_;
 };
 
 }  // namespace dtmsv::nn

@@ -21,9 +21,12 @@ Tensor Linear::forward(const Tensor& input) {
   input_ = input;
   Tensor out = Tensor::matmul_bt(input, w_);  // [N, out]
   const std::size_t n = out.dim(0);
+  float* op = out.data().data();
+  const float* bias = b_.data().data();
   for (std::size_t i = 0; i < n; ++i) {
+    float* orow = op + i * out_features_;
     for (std::size_t j = 0; j < out_features_; ++j) {
-      out.at2(i, j) += b_[j];
+      orow[j] += bias[j];
     }
   }
   return out;
@@ -38,9 +41,12 @@ Tensor Linear::backward(const Tensor& grad_output) {
   // dL/dW = gradᵀ · input ; dL/db = column sums of grad ; dL/dx = grad · W
   w_grad_ += Tensor::matmul_at(grad_output, input_);
   const std::size_t n = grad_output.dim(0);
+  const float* gp = grad_output.data().data();
+  float* bg = b_grad_.data().data();
   for (std::size_t i = 0; i < n; ++i) {
+    const float* grow = gp + i * out_features_;
     for (std::size_t j = 0; j < out_features_; ++j) {
-      b_grad_[j] += grad_output.at2(i, j);
+      bg[j] += grow[j];
     }
   }
   return Tensor::matmul(grad_output, w_);

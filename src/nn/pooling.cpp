@@ -24,23 +24,24 @@ Tensor MaxPool1D::forward(const Tensor& input) {
 
   Tensor out({n, c, out_len});
   argmax_.assign(n * c * out_len, 0);
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      for (std::size_t t = 0; t < out_len; ++t) {
-        const std::size_t start = t * window_;
-        const std::size_t stop = std::min(start + window_, len);
-        float best = -std::numeric_limits<float>::infinity();
-        std::size_t best_idx = start;
-        for (std::size_t l = start; l < stop; ++l) {
-          const float v = input.at3(b, ch, l);
-          if (v > best) {
-            best = v;
-            best_idx = l;
-          }
+  const float* in = input.data().data();
+  float* op = out.data().data();
+  for (std::size_t row = 0; row < n * c; ++row) {
+    const float* irow = in + row * len;
+    float* orow = op + row * out_len;
+    for (std::size_t t = 0; t < out_len; ++t) {
+      const std::size_t start = t * window_;
+      const std::size_t stop = std::min(start + window_, len);
+      float best = -std::numeric_limits<float>::infinity();
+      std::size_t best_idx = start;
+      for (std::size_t l = start; l < stop; ++l) {
+        if (irow[l] > best) {
+          best = irow[l];
+          best_idx = l;
         }
-        out.at3(b, ch, t) = best;
-        argmax_[(b * c + ch) * out_len + t] = (b * c + ch) * len + best_idx;
       }
+      orow[t] = best;
+      argmax_[row * out_len + t] = row * len + best_idx;
     }
   }
   return out;
@@ -72,14 +73,15 @@ Tensor GlobalAvgPool1D::forward(const Tensor& input) {
   const std::size_t len = input.dim(2);
 
   Tensor out({n, c});
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      float acc = 0.0f;
-      for (std::size_t l = 0; l < len; ++l) {
-        acc += input.at3(b, ch, l);
-      }
-      out.at2(b, ch) = acc / static_cast<float>(len);
+  const float* in = input.data().data();
+  float* op = out.data().data();
+  for (std::size_t row = 0; row < n * c; ++row) {
+    const float* irow = in + row * len;
+    float acc = 0.0f;
+    for (std::size_t l = 0; l < len; ++l) {
+      acc += irow[l];
     }
+    op[row] = acc / static_cast<float>(len);
   }
   return out;
 }
@@ -94,12 +96,13 @@ Tensor GlobalAvgPool1D::backward(const Tensor& grad_output) {
 
   Tensor grad_input(input_shape_);
   const float scale = 1.0f / static_cast<float>(len);
-  for (std::size_t b = 0; b < n; ++b) {
-    for (std::size_t ch = 0; ch < c; ++ch) {
-      const float g = grad_output.at2(b, ch) * scale;
-      for (std::size_t l = 0; l < len; ++l) {
-        grad_input.at3(b, ch, l) = g;
-      }
+  const float* go = grad_output.data().data();
+  float* gi = grad_input.data().data();
+  for (std::size_t row = 0; row < n * c; ++row) {
+    const float g = go[row] * scale;
+    float* grow = gi + row * len;
+    for (std::size_t l = 0; l < len; ++l) {
+      grow[l] = g;
     }
   }
   return grad_input;

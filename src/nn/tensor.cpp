@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/parallel.hpp"
+
 namespace dtmsv::nn {
 
 namespace {
@@ -135,6 +137,111 @@ float Tensor::abs_max() const {
   return m;
 }
 
+namespace {
+
+// Cache tiles for the blocked kernels. The b-tile (kTileK x kTileJ floats,
+// 32 KiB) stays L1/L2-resident while it is reused across a block of output
+// rows. Accumulation order per output element is always ascending kk, so
+// tiled results are bit-identical to the untiled triple loop and to
+// themselves for any tile size or thread count.
+constexpr std::size_t kTileI = 32;
+constexpr std::size_t kTileJ = 128;
+constexpr std::size_t kTileK = 64;
+
+// Row blocks below this many multiply-adds run on the calling thread;
+// parallel dispatch overhead would dominate smaller products.
+constexpr std::size_t kParallelFlops = 1u << 17;
+
+std::size_t row_grain(std::size_t per_row_flops) {
+  return std::max<std::size_t>(1, kParallelFlops / std::max<std::size_t>(1, per_row_flops));
+}
+
+/// out[i0..i1) += a · b for row-major a (m×k), b (k×n).
+void matmul_rows(const float* a, const float* b, float* out, std::size_t i0,
+                 std::size_t i1, std::size_t k, std::size_t n) {
+  for (std::size_t ib = i0; ib < i1; ib += kTileI) {
+    const std::size_t ie = std::min(ib + kTileI, i1);
+    for (std::size_t kb = 0; kb < k; kb += kTileK) {
+      const std::size_t ke = std::min(kb + kTileK, k);
+      for (std::size_t jb = 0; jb < n; jb += kTileJ) {
+        const std::size_t je = std::min(jb + kTileJ, n);
+        for (std::size_t i = ib; i < ie; ++i) {
+          const float* arow = a + i * k;
+          float* orow = out + i * n;
+          for (std::size_t kk = kb; kk < ke; ++kk) {
+            const float av = arow[kk];
+            const float* brow = b + kk * n;
+            for (std::size_t j = jb; j < je; ++j) {
+              orow[j] = fused_madd(av, brow[j], orow[j]);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// out[i0..i1) = a · bᵀ for row-major a (m×k), b (n×k). Four independent
+/// dot-product chains per iteration break the serial FP dependency while
+/// keeping every (i, j) accumulation in ascending kk order.
+void matmul_bt_rows(const float* a, const float* b, float* out, std::size_t i0,
+                    std::size_t i1, std::size_t k, std::size_t n) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + (j + 0) * k;
+      const float* b1 = b + (j + 1) * k;
+      const float* b2 = b + (j + 2) * k;
+      const float* b3 = b + (j + 3) * k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        acc0 = fused_madd(av, b0[kk], acc0);
+        acc1 = fused_madd(av, b1[kk], acc1);
+        acc2 = fused_madd(av, b2[kk], acc2);
+        acc3 = fused_madd(av, b3[kk], acc3);
+      }
+      orow[j + 0] = acc0;
+      orow[j + 1] = acc1;
+      orow[j + 2] = acc2;
+      orow[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc = fused_madd(arow[kk], brow[kk], acc);
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+/// out[i0..i1) += aᵀ · b for row-major a (k×m), b (k×n).
+void matmul_at_rows(const float* a, const float* b, float* out, std::size_t i0,
+                    std::size_t i1, std::size_t k, std::size_t m, std::size_t n) {
+  for (std::size_t ib = i0; ib < i1; ib += kTileI) {
+    const std::size_t ie = std::min(ib + kTileI, i1);
+    for (std::size_t kb = 0; kb < k; kb += kTileK) {
+      const std::size_t ke = std::min(kb + kTileK, k);
+      for (std::size_t i = ib; i < ie; ++i) {
+        float* orow = out + i * n;
+        for (std::size_t kk = kb; kk < ke; ++kk) {
+          const float av = a[kk * m + i];
+          const float* brow = b + kk * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            orow[j] = fused_madd(av, brow[j], orow[j]);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Tensor Tensor::matmul(const Tensor& a, const Tensor& b) {
   DTMSV_EXPECTS(a.rank() == 2 && b.rank() == 2);
   DTMSV_EXPECTS_MSG(a.dim(1) == b.dim(0), "inner dimensions must agree");
@@ -142,19 +249,12 @@ Tensor Tensor::matmul(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.dim(1);
   const std::size_t n = b.dim(1);
   Tensor out({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = a.data_[i * k + kk];
-      if (av == 0.0f) {
-        continue;
-      }
-      const float* brow = b.data_.data() + kk * n;
-      float* orow = out.data_.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
-      }
-    }
-  }
+  const float* ap = a.data_.data();
+  const float* bp = b.data_.data();
+  float* op = out.data_.data();
+  util::parallel_for(0, m, row_grain(k * n), [&](std::size_t i0, std::size_t i1) {
+    matmul_rows(ap, bp, op, i0, i1, k, n);
+  });
   return out;
 }
 
@@ -165,17 +265,12 @@ Tensor Tensor::matmul_bt(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.dim(1);
   const std::size_t n = b.dim(0);
   Tensor out({m, n});
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = a.data_.data() + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = b.data_.data() + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        acc += arow[kk] * brow[kk];
-      }
-      out.data_[i * n + j] = acc;
-    }
-  }
+  const float* ap = a.data_.data();
+  const float* bp = b.data_.data();
+  float* op = out.data_.data();
+  util::parallel_for(0, m, row_grain(k * n), [&](std::size_t i0, std::size_t i1) {
+    matmul_bt_rows(ap, bp, op, i0, i1, k, n);
+  });
   return out;
 }
 
@@ -186,20 +281,12 @@ Tensor Tensor::matmul_at(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.dim(1);
   const std::size_t n = b.dim(1);
   Tensor out({m, n});
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.data_.data() + kk * m;
-    const float* brow = b.data_.data() + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) {
-        continue;
-      }
-      float* orow = out.data_.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        orow[j] += av * brow[j];
-      }
-    }
-  }
+  const float* ap = a.data_.data();
+  const float* bp = b.data_.data();
+  float* op = out.data_.data();
+  util::parallel_for(0, m, row_grain(k * n), [&](std::size_t i0, std::size_t i1) {
+    matmul_at_rows(ap, bp, op, i0, i1, k, m, n);
+  });
   return out;
 }
 

@@ -7,6 +7,7 @@
 // against finite differences (see nn/gradient_check.hpp).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
@@ -16,6 +17,20 @@
 #include "util/error.hpp"
 
 namespace dtmsv::nn {
+
+/// The single multiply-accumulate primitive of every matmul kernel:
+/// fused (hardware FMA) when the target has fast fmaf, plain mul-add
+/// otherwise. Reference implementations (tests, future kernels) must
+/// accumulate through this same function, in the same order, to stay
+/// bit-identical with the tiled kernels — compiler FP-contraction choices
+/// then cannot make two "equivalent" loops disagree.
+inline float fused_madd(float a, float b, float acc) {
+#ifdef FP_FAST_FMAF
+  return std::fmaf(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
 
 /// Shape of a tensor; empty shape denotes a scalar-like 1-element tensor.
 using Shape = std::vector<std::size_t>;

@@ -1,0 +1,37 @@
+// Shared thread pool and data-parallel loop for the numeric core.
+//
+// The per-interval DT pipeline (1D-CNN compression, k-means grouping,
+// DDQN planning) is embarrassingly parallel over rows: output rows of a
+// matmul, points of a clustering pass, windows of a feature batch. The
+// pool hands each worker a contiguous, disjoint index block, so results
+// are bit-identical for any thread count — each row is always reduced by
+// exactly one thread, in the same order.
+//
+// Thread count resolution order:
+//   1. explicit set_thread_count(n) (benches use this for scaling runs),
+//   2. the DTMSV_THREADS environment variable,
+//   3. std::thread::hardware_concurrency().
+// A count of 1 (or a range below `grain`) runs inline with zero overhead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dtmsv::util {
+
+/// Number of worker threads the pool will use (see resolution order above).
+std::size_t thread_count();
+
+/// Overrides the pool size; n == 0 restores the env/hardware default.
+/// Takes effect on the next parallel_for call.
+void set_thread_count(std::size_t n);
+
+/// Runs fn(begin_i, end_i) over disjoint contiguous chunks covering
+/// [begin, end). Chunk boundaries depend only on (begin, end, thread
+/// count), never on scheduling, and a range shorter than min_grain (or a
+/// 1-thread pool) executes fn(begin, end) inline on the caller's thread.
+/// fn must not throw; exceptions escaping a worker terminate the process.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t min_grain,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace dtmsv::util

@@ -76,7 +76,7 @@ TEST(KMeansPlusPlus, CentroidsAreInputPoints) {
   const Points points = gaussian_blobs({{0.0, 0.0}, {5.0, 5.0}}, 10, 0.5, rng);
   const Points centroids = kmeans_plus_plus_init(points, 3, rng);
   for (const auto& c : centroids) {
-    EXPECT_NE(std::find(points.begin(), points.end(), c), points.end());
+    EXPECT_TRUE(points.contains(c));
   }
 }
 
@@ -192,9 +192,10 @@ TEST(KMeans, EmptyInputRejected) {
 }
 
 TEST(KMeans, InconsistentDimensionsRejected) {
-  Rng rng(13);
-  Points ragged = {{1.0, 2.0}, {3.0}};
-  EXPECT_THROW(k_means(ragged, 1, rng), PreconditionError);
+  // Flat storage enforces a single dimensionality at construction time.
+  EXPECT_THROW(Points({{1.0, 2.0}, {3.0}}), PreconditionError);
+  Points points = {{1.0, 2.0}};
+  EXPECT_THROW(points.push_back({3.0}), PreconditionError);
 }
 
 // ------------------------------------------------------------------ metrics
@@ -254,6 +255,41 @@ TEST(Inertia, MatchesHandComputation) {
   const Points centroids = {{1.0}, {10.0}};
   const std::vector<std::size_t> assignment = {0, 0, 1};
   EXPECT_DOUBLE_EQ(inertia(points, centroids, assignment), 1.0 + 1.0 + 0.0);
+}
+
+TEST(SilhouetteSampled, ExactWhenSampleCoversAllPoints) {
+  Rng rng(40);
+  const Points points = gaussian_blobs(kFarCenters, 10, 0.8, rng);
+  const auto result = k_means(points, 4, rng);
+  Rng sample_rng(41);
+  // max_samples >= n: must match the exact metric bit-for-bit and leave
+  // the rng untouched.
+  EXPECT_DOUBLE_EQ(
+      silhouette_sampled(points, result.assignment, points.size(), sample_rng),
+      silhouette(points, result.assignment));
+  EXPECT_DOUBLE_EQ(
+      silhouette_sampled(points, result.assignment, 10000, sample_rng),
+      silhouette(points, result.assignment));
+}
+
+TEST(SilhouetteSampled, CloseToExactOnSubsample) {
+  Rng rng(42);
+  const Points points = gaussian_blobs(kFarCenters, 50, 0.8, rng);  // n = 200
+  const auto result = k_means(points, 4, rng);
+  const double exact = silhouette(points, result.assignment);
+  Rng sample_rng(43);
+  const double sampled =
+      silhouette_sampled(points, result.assignment, 80, sample_rng);
+  EXPECT_NEAR(sampled, exact, 0.1);
+  EXPECT_GE(sampled, -1.0);
+  EXPECT_LE(sampled, 1.0);
+}
+
+TEST(SilhouetteSampled, DegenerateSingleClusterIsZero) {
+  const Points points = {{0.0}, {1.0}, {2.0}, {3.0}};
+  const std::vector<std::size_t> assignment = {0, 0, 0, 0};
+  Rng sample_rng(44);
+  EXPECT_DOUBLE_EQ(silhouette_sampled(points, assignment, 2, sample_rng), 0.0);
 }
 
 TEST(CalinskiHarabasz, HigherForSeparatedData) {

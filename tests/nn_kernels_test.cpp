@@ -1,0 +1,187 @@
+// Tests for the tiled/parallel matmul kernels against untiled references.
+//
+// The kernels promise bit-identical results to the canonical triple loop
+// (per-output-element accumulation through nn::fused_madd in ascending
+// inner-dimension order), for any matrix shape and any thread count —
+// tiling and row-block parallelism must never change what is computed,
+// only how fast. The references below accumulate through the same
+// fused_madd primitive so compiler FP-contraction choices cannot make
+// the two sides disagree.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dtmsv::nn::Tensor;
+using dtmsv::util::Rng;
+
+Tensor random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Tensor t({rows, cols});
+  for (float& v : t.data()) {
+    v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  return t;
+}
+
+/// Canonical (m×k)·(k×n): ascending-kk accumulation per output element.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc = dtmsv::nn::fused_madd(a.at2(i, kk), b.at2(kk, j), acc);
+      }
+      out.at2(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor naive_matmul_bt(const Tensor& a, const Tensor& b) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc = dtmsv::nn::fused_madd(a.at2(i, kk), b.at2(j, kk), acc);
+      }
+      out.at2(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor naive_matmul_at(const Tensor& a, const Tensor& b) {
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  Tensor out({m, n});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc = dtmsv::nn::fused_madd(a.at2(kk, i), b.at2(kk, j), acc);
+      }
+      out.at2(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+void expect_bit_identical(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "element " << i << " diverges";
+  }
+}
+
+// Shapes chosen to exercise every tiling edge: smaller than one tile,
+// exact tile multiples, one-past-a-tile remainders, and skinny matrices
+// in each dimension.
+struct Shape3 {
+  std::size_t m, k, n;
+};
+
+const Shape3 kShapes[] = {
+    {1, 1, 1},  {3, 5, 2},   {7, 1, 9},   {32, 64, 128}, {33, 65, 129},
+    {31, 63, 127}, {64, 64, 64}, {5, 200, 3}, {130, 70, 40}, {1, 300, 1},
+};
+
+TEST(MatmulKernels, MatchesNaiveReference) {
+  Rng rng(1);
+  for (const auto& s : kShapes) {
+    const Tensor a = random_matrix(s.m, s.k, rng);
+    const Tensor b = random_matrix(s.k, s.n, rng);
+    expect_bit_identical(Tensor::matmul(a, b), naive_matmul(a, b));
+  }
+}
+
+TEST(MatmulKernels, BtMatchesNaiveReference) {
+  Rng rng(2);
+  for (const auto& s : kShapes) {
+    const Tensor a = random_matrix(s.m, s.k, rng);
+    const Tensor b = random_matrix(s.n, s.k, rng);
+    expect_bit_identical(Tensor::matmul_bt(a, b), naive_matmul_bt(a, b));
+  }
+}
+
+TEST(MatmulKernels, AtMatchesNaiveReference) {
+  Rng rng(3);
+  for (const auto& s : kShapes) {
+    const Tensor a = random_matrix(s.k, s.m, rng);
+    const Tensor b = random_matrix(s.k, s.n, rng);
+    expect_bit_identical(Tensor::matmul_at(a, b), naive_matmul_at(a, b));
+  }
+}
+
+TEST(MatmulKernels, ThreadCountDoesNotChangeResults) {
+  Rng rng(4);
+  // Big enough to clear the parallel dispatch threshold.
+  const Tensor a = random_matrix(97, 150, rng);
+  const Tensor b = random_matrix(150, 83, rng);
+  const Tensor bt = random_matrix(83, 150, rng);
+
+  dtmsv::util::set_thread_count(1);
+  const Tensor serial = Tensor::matmul(a, b);
+  const Tensor serial_bt = Tensor::matmul_bt(a, bt);
+  const Tensor serial_at = Tensor::matmul_at(b, b);
+  for (const std::size_t threads : {2u, 3u, 8u}) {
+    dtmsv::util::set_thread_count(threads);
+    expect_bit_identical(Tensor::matmul(a, b), serial);
+    expect_bit_identical(Tensor::matmul_bt(a, bt), serial_bt);
+    expect_bit_identical(Tensor::matmul_at(b, b), serial_at);
+  }
+  dtmsv::util::set_thread_count(0);
+}
+
+TEST(MatmulKernels, ShapePreconditionsStillEnforced) {
+  Rng rng(5);
+  const Tensor a = random_matrix(4, 5, rng);
+  const Tensor b = random_matrix(4, 5, rng);
+  EXPECT_THROW(Tensor::matmul(a, b), dtmsv::util::PreconditionError);
+  const Tensor c = random_matrix(6, 4, rng);
+  EXPECT_THROW(Tensor::matmul_bt(a, c), dtmsv::util::PreconditionError);
+  EXPECT_THROW(Tensor::matmul_at(a, c), dtmsv::util::PreconditionError);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    dtmsv::util::set_thread_count(threads);
+    std::vector<std::atomic<int>> hits(1000);
+    dtmsv::util::parallel_for(0, hits.size(), 1, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        hits[i].fetch_add(1);
+      }
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                   << " threads";
+    }
+  }
+  dtmsv::util::set_thread_count(0);
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  dtmsv::util::set_thread_count(4);
+  int calls = 0;
+  dtmsv::util::parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Below min_grain the loop runs inline as one chunk.
+  dtmsv::util::parallel_for(0, 3, 100, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 3u);
+  });
+  EXPECT_EQ(calls, 1);
+  dtmsv::util::set_thread_count(0);
+}
+
+}  // namespace
