@@ -1,0 +1,187 @@
+#include "core/fleet.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace dtmsv::core {
+
+namespace {
+
+/// Shard seed derived from the fleet seed and the shard's creation index:
+/// a pure function of the pair, so shard streams never depend on thread
+/// count or on when surge shards join.
+std::uint64_t shard_seed(std::uint64_t fleet_seed, std::uint64_t seq) {
+  util::SplitMix64 sm(fleet_seed ^ (0xD1B54A32D192ED03ULL * (seq + 1)));
+  return sm.next();
+}
+
+}  // namespace
+
+SimulationFleet::SimulationFleet(const FleetConfig& config)
+    : config_(config),
+      churn_rng_(util::SplitMix64(config.seed ^ 0xF1EE7C0DEULL).next()) {
+  DTMSV_EXPECTS(config.cell_count > 0);
+  DTMSV_EXPECTS_MSG(config.total_users >= config.cell_count,
+                    "SimulationFleet: every cell needs at least one user");
+  shards_.reserve(config.cell_count);
+  const std::size_t per_cell = config.total_users / config.cell_count;
+  const std::size_t extra = config.total_users % config.cell_count;
+  for (std::size_t c = 0; c < config.cell_count; ++c) {
+    add_shard(c, per_cell + (c < extra ? 1 : 0));
+  }
+}
+
+void SimulationFleet::add_shard(std::size_t cell, std::size_t users) {
+  DTMSV_EXPECTS(cell < config_.cell_count);
+  DTMSV_EXPECTS(users > 0);
+  SchemeConfig cfg = config_.base;
+  cfg.user_count = users;
+  cfg.seed = shard_seed(config_.seed, shard_seq_++);
+  Shard shard;
+  shard.cell = cell;
+  shard.sim = std::make_unique<Simulation>(cfg);
+  shards_.push_back(std::move(shard));
+}
+
+void SimulationFleet::add_surge_shard(std::size_t cell, std::size_t users) {
+  add_shard(cell, users);
+}
+
+std::size_t SimulationFleet::user_count() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) {
+    total += s.sim->config().user_count;
+  }
+  return total;
+}
+
+Simulation& SimulationFleet::shard(std::size_t i) {
+  DTMSV_EXPECTS(i < shards_.size());
+  return *shards_[i].sim;
+}
+
+const Simulation& SimulationFleet::shard(std::size_t i) const {
+  DTMSV_EXPECTS(i < shards_.size());
+  return *shards_[i].sim;
+}
+
+std::size_t SimulationFleet::shard_cell(std::size_t i) const {
+  DTMSV_EXPECTS(i < shards_.size());
+  return shards_[i].cell;
+}
+
+FleetReport SimulationFleet::run_interval() {
+  FleetReport report;
+  report.interval = interval_;
+  report.cell_count = config_.cell_count;
+  report.shards.resize(shards_.size());
+  std::vector<util::RunningStats> group_err(shards_.size());
+
+  // Parallel phase: each worker owns a disjoint shard range, writes only
+  // its shards' slots, and any parallel_for a shard's pipeline issues runs
+  // inline on that worker (the pool is reentrancy-safe but not nested-
+  // parallel). No cross-shard state is touched.
+  util::parallel_for(0, shards_.size(), 1,
+                     [&](std::size_t lo, std::size_t hi) {
+                       for (std::size_t s = lo; s < hi; ++s) {
+                         report.shards[s] = shards_[s].sim->run_interval();
+                         for (const auto& g : report.shards[s].groups) {
+                           if (g.actual_radio_hz > 0.0) {
+                             group_err[s].add(
+                                 std::abs(g.predicted_radio_hz - g.actual_radio_hz) /
+                                 g.actual_radio_hz);
+                           }
+                         }
+                       }
+                     });
+
+  // Aggregation walks shards in fixed index order — never completion
+  // order — so the report is independent of scheduling and thread count.
+  report.shard_cell.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const EpochReport& r = report.shards[s];
+    report.shard_cell.push_back(shards_[s].cell);
+    report.user_count += shards_[s].sim->config().user_count;
+    report.predicted_radio_hz_total += r.predicted_radio_hz_total;
+    report.actual_radio_hz_total += r.actual_radio_hz_total;
+    report.predicted_compute_total += r.predicted_compute_total;
+    report.actual_compute_total += r.actual_compute_total;
+    report.unicast_radio_hz_total += r.unicast_radio_hz_total;
+    if (r.grouped) {
+      ++report.grouped_shards;
+    }
+    if (r.has_prediction) {
+      report.shard_radio_error.add(r.radio_error);
+      report.shard_compute_error.add(r.compute_error);
+    }
+    report.group_radio_error.merge(group_err[s]);
+  }
+  if (report.actual_radio_hz_total > 0.0) {
+    report.radio_error =
+        std::abs(report.predicted_radio_hz_total - report.actual_radio_hz_total) /
+        report.actual_radio_hz_total;
+  }
+  if (report.actual_compute_total > 0.0) {
+    report.compute_error =
+        std::abs(report.predicted_compute_total - report.actual_compute_total) /
+        report.actual_compute_total;
+  }
+
+  ++interval_;
+  return report;
+}
+
+std::vector<FleetReport> SimulationFleet::run(std::size_t n) {
+  std::vector<FleetReport> reports;
+  reports.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    reports.push_back(run_interval());
+  }
+  return reports;
+}
+
+std::size_t SimulationFleet::churn(double fraction) {
+  DTMSV_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
+  if (shards_.size() < 2) {
+    return 0;
+  }
+  const auto pairs = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(user_count()) * 0.5));
+  std::size_t handed_over = 0;
+  std::vector<std::size_t> peers;  // shards in a different cell than a's
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto a = static_cast<std::size_t>(churn_rng_.uniform_int(
+        0, static_cast<std::int64_t>(shards_.size()) - 1));
+    // Handovers are strictly inter-cell: the peer must live in a different
+    // cell, not merely be a different shard (a surge shard shares its cell
+    // with the base shard it joined).
+    peers.clear();
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].cell != shards_[a].cell) {
+        peers.push_back(s);
+      }
+    }
+    if (peers.empty()) {
+      return handed_over;  // single-cell fleet: nowhere to hand over to
+    }
+    const std::size_t b = peers[static_cast<std::size_t>(churn_rng_.uniform_int(
+        0, static_cast<std::int64_t>(peers.size()) - 1))];
+    const auto slot_a = static_cast<std::size_t>(churn_rng_.uniform_int(
+        0, static_cast<std::int64_t>(shards_[a].sim->config().user_count) - 1));
+    const auto slot_b = static_cast<std::size_t>(churn_rng_.uniform_int(
+        0, static_cast<std::int64_t>(shards_[b].sim->config().user_count) - 1));
+    const behavior::PreferenceVector aff_a =
+        shards_[a].sim->true_affinities()[slot_a];
+    const behavior::PreferenceVector aff_b =
+        shards_[b].sim->true_affinities()[slot_b];
+    shards_[a].sim->handover_user(slot_a, aff_b);
+    shards_[b].sim->handover_user(slot_b, aff_a);
+    handed_over += 2;
+  }
+  return handed_over;
+}
+
+}  // namespace dtmsv::core

@@ -1,0 +1,118 @@
+// Multi-cell fleet: shards a large user population across N cells, each an
+// independent core::Simulation (own RNG streams, own campus instance, own
+// twin store and learning state — the paper's per-cell DT pipeline by
+// construction), and runs the per-interval pipelines concurrently on the
+// util::parallel thread pool.
+//
+// Determinism: every shard consumes only its own forked streams, the pool
+// hands workers disjoint shard ranges, nested parallel_for calls issued by
+// a shard's numeric core run inline on that worker, and aggregation walks
+// shards in fixed index order — so the fleet report is bit-identical for
+// any DTMSV_THREADS value.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "util/stats.hpp"
+
+namespace dtmsv::core {
+
+/// Multi-cell deployment configuration.
+struct FleetConfig {
+  /// Per-cell scheme template. `base.seed` and `base.user_count` are
+  /// overridden per shard; everything else applies to every cell.
+  SchemeConfig base{};
+  std::size_t cell_count = 4;
+  /// Users sharded near-evenly across the cells (cell c gets
+  /// total/N users, the first total%N cells one extra).
+  std::size_t total_users = 480;
+  /// Fleet master seed; each shard's Simulation seed derives from it.
+  std::uint64_t seed = 42;
+};
+
+/// One interval's outcome across every shard of the fleet. A "shard" is one
+/// Simulation instance: the initial cells, plus any surge shards added
+/// mid-run (a surge shard is co-located with an existing cell and its
+/// demand aggregates into that cell).
+struct FleetReport {
+  util::IntervalId interval = 0;
+  std::size_t cell_count = 0;
+  std::size_t user_count = 0;      // live users across all shards
+  std::size_t grouped_shards = 0;  // shards past warm-up this interval
+  std::vector<EpochReport> shards;      // per-shard reports, fixed order
+  std::vector<std::size_t> shard_cell;  // owning cell of each shard
+
+  double predicted_radio_hz_total = 0.0;
+  double actual_radio_hz_total = 0.0;
+  double predicted_compute_total = 0.0;
+  double actual_compute_total = 0.0;
+  double unicast_radio_hz_total = 0.0;
+  /// |pred − actual| / actual on the fleet totals (0 when undefined).
+  double radio_error = 0.0;
+  double compute_error = 0.0;
+
+  /// Distribution of per-shard interval errors (shards with predictions).
+  util::RunningStats shard_radio_error;
+  util::RunningStats shard_compute_error;
+  /// Distribution of per-group radio errors across the whole fleet, merged
+  /// from the per-shard accumulators filled in the parallel phase.
+  util::RunningStats group_radio_error;
+};
+
+/// N independent cells advanced in lock-step, one reservation interval at
+/// a time, plus the scenario hooks (flash-crowd surge, inter-cell churn)
+/// the scenario library drives.
+class SimulationFleet {
+ public:
+  explicit SimulationFleet(const FleetConfig& config);
+
+  /// Advances every shard one reservation interval (concurrently) and
+  /// returns the aggregated fleet report.
+  FleetReport run_interval();
+
+  /// Runs `n` intervals, returning all fleet reports.
+  std::vector<FleetReport> run(std::size_t n);
+
+  /// Flash crowd: `users` fresh arrivals surge into `cell`, modeled as a
+  /// co-located shard that starts its own warm-up mid-run (newcomers have
+  /// no twin history, so their pipeline must warm up like any cold cell).
+  void add_surge_shard(std::size_t cell, std::size_t users);
+
+  /// Mobility churn: hands over roughly `fraction` of the population
+  /// between random cell pairs. Each handover swaps the ground-truth
+  /// affinities of one slot in each of two distinct shards and resets both
+  /// slots' twins, walkers and channel state (each BS must re-learn its
+  /// newcomer). Returns the number of users handed over. Deterministic:
+  /// pairing is drawn from the fleet's own stream on the calling thread.
+  std::size_t churn(double fraction);
+
+  // --- observability ---
+  const FleetConfig& config() const { return config_; }
+  std::size_t cell_count() const { return config_.cell_count; }
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Live user total across all shards (grows when surges arrive).
+  std::size_t user_count() const;
+  Simulation& shard(std::size_t i);
+  const Simulation& shard(std::size_t i) const;
+  std::size_t shard_cell(std::size_t i) const;
+  util::IntervalId interval() const { return interval_; }
+
+ private:
+  struct Shard {
+    std::size_t cell = 0;
+    std::unique_ptr<Simulation> sim;
+  };
+
+  void add_shard(std::size_t cell, std::size_t users);
+
+  FleetConfig config_;
+  util::Rng churn_rng_;
+  std::uint64_t shard_seq_ = 0;  // shard creation counter -> shard seeds
+  std::vector<Shard> shards_;
+  util::IntervalId interval_ = 0;
+};
+
+}  // namespace dtmsv::core

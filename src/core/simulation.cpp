@@ -59,7 +59,9 @@ Simulation::Simulation(const SchemeConfig& config)
       popularity_(config.popularity_forgetting),
       phy_(config.demand.efficiency_floor),
       playback_rng_(0),
-      cluster_rng_(0) {
+      cluster_rng_(0),
+      drift_rng_(0),
+      handover_rng_(0) {
   DTMSV_EXPECTS(config.user_count > 0);
   DTMSV_EXPECTS(config.interval_s > 0.0);
   DTMSV_EXPECTS(config.tick_s > 0.0 && config.tick_s <= config.interval_s);
@@ -106,6 +108,8 @@ Simulation::Simulation(const SchemeConfig& config)
   channel_predictor_ = make_channel_predictor(config.channel_predictor);
   playback_rng_ = rng_.fork(8);
   cluster_rng_ = rng_.fork(9);
+  drift_rng_ = rng_.fork(10);
+  handover_rng_ = rng_.fork(11);
 }
 
 Simulation::~Simulation() = default;
@@ -189,8 +193,11 @@ void Simulation::start_group_video(Group& g, util::SimTime at) {
     g.member_watch_s[i] = std::min(frac, 1.0) * v.duration_s;
     max_watch = std::max(max_watch, g.member_watch_s[i]);
   }
+  // Floor the on-air window at 0.2 s, but never above the clip length:
+  // std::clamp with lo > hi (a sub-0.2 s clip) is undefined behaviour.
+  const double min_on_air = std::min(0.2, v.duration_s);
   g.on_air_s =
-      std::clamp(max_watch + config_.demand.prefetch_s, 0.2, v.duration_s);
+      std::clamp(max_watch + config_.demand.prefetch_s, min_on_air, v.duration_s);
   // Members planning to outlast the on-air window are truncated to it so
   // watch events never exceed what was actually transmitted.
   for (double& w : g.member_watch_s) {
@@ -269,21 +276,23 @@ void Simulation::advance_group(Group& g, util::SimTime from, double dt,
   }
 }
 
-void Simulation::tick(std::vector<behavior::ViewEvent>& events) {
-  const double dt = config_.tick_s;
+void Simulation::tick(std::vector<behavior::ViewEvent>& events, util::SimTime t0,
+                      util::SimTime t1) {
+  const double dt = t1 - t0;
   mobility_->advance(dt);
   channel_->step(mobility_->snapshot());
 
   if (groups_.empty()) {
     for (auto& session : warmup_sessions_) {
-      session.advance(now_, dt, events);
+      session.advance(t0, dt, events);
     }
   } else {
     for (auto& g : groups_) {
-      advance_group(g, now_, dt, events);
+      advance_group(g, t0, dt, events);
     }
   }
-  now_ += dt;
+  now_ = t1;
+  ++tick_count_;
   collector_->tick(now_, dt, *twins_, *channel_, *mobility_, events);
   for (const auto& ev : events) {
     popularity_.observe(ev.video_id, ev.watch_seconds);
@@ -293,16 +302,42 @@ void Simulation::tick(std::vector<behavior::ViewEvent>& events) {
 void Simulation::drift_affinities() {
   const double rate = std::min(config_.affinity_drift_rate, 1.0);
   for (std::size_t u = 0; u < affinities_.size(); ++u) {
+    // Drift targets come from a dedicated stream: drawing them from the
+    // playback stream would make toggling affinity_drift_rate perturb
+    // group playback, breaking A/B comparability across scenarios.
     const behavior::PreferenceVector target =
-        behavior::sample_affinity(config_.affinity_concentration, playback_rng_);
+        behavior::sample_affinity(config_.affinity_concentration, drift_rng_);
     for (std::size_t c = 0; c < affinities_[u].size(); ++c) {
       affinities_[u][c] = (1.0 - rate) * affinities_[u][c] + rate * target[c];
     }
-    affinities_[u] = behavior::normalized(affinities_[u]);
+    // A convex combination of distributions already sums to 1 up to the
+    // same rounding a renormalising divide would leave, so the vector is
+    // used as-is; renormalising here would perturb bits even for drift
+    // nudges small enough to be absorbed entirely.
     if (groups_.empty() && u < warmup_sessions_.size()) {
       warmup_sessions_[u].set_affinity(affinities_[u]);
     }
   }
+}
+
+behavior::PreferenceVector Simulation::handover_user(
+    std::size_t slot, const behavior::PreferenceVector& incoming) {
+  DTMSV_EXPECTS(slot < affinities_.size());
+  behavior::PreferenceVector outgoing = affinities_[slot];
+  // Stored verbatim (no renormalisation): a handover between cells must be
+  // an exact exchange, so fleet-level churn conserves the population
+  // bitwise. Callers pass affinities that are already distributions.
+  affinities_[slot] = incoming;
+  // The newcomer enters the cell at a fresh waypoint with fresh large- and
+  // small-scale channel state; their twin starts empty (the serving BS has
+  // no history for an arriving user, so the pipeline must re-learn them).
+  mobility_->reseat(slot, handover_rng_.fork(slot));
+  channel_->reset_user(slot, handover_rng_);
+  twins_->reset_user(slot);
+  if (slot < warmup_sessions_.size()) {
+    warmup_sessions_[slot].set_affinity(affinities_[slot]);
+  }
+  return outgoing;
 }
 
 clustering::Points Simulation::build_features(float* reconstruction_loss) {
@@ -418,12 +453,27 @@ EpochReport Simulation::run_interval() {
   report.interval = interval_;
   report.grouped = !groups_.empty();
 
-  const double interval_end =
+  // Ticks are scheduled by integer index within the interval: accumulating
+  // now_ += tick_s in floating point drifts after thousands of intervals
+  // (tick counts change once the error outgrows the boundary guard), so
+  // each tick's endpoints are computed from the index instead and the
+  // interval lands exactly on its nominal boundary. When tick_s does not
+  // divide interval_s the final tick is truncated to the boundary.
+  const util::SimTime interval_start = now_;
+  const util::SimTime interval_end =
       static_cast<double>(interval_ + 1) * config_.interval_s;
+  const auto ticks = static_cast<std::size_t>(
+      std::ceil((interval_end - interval_start) / config_.tick_s - 1e-9));
   std::vector<behavior::ViewEvent> events;
-  while (now_ < interval_end - 1e-9) {
+  for (std::size_t i = 0; i < ticks; ++i) {
+    const util::SimTime t0 =
+        interval_start + static_cast<double>(i) * config_.tick_s;
+    const util::SimTime t1 =
+        i + 1 == ticks
+            ? interval_end
+            : interval_start + static_cast<double>(i + 1) * config_.tick_s;
     events.clear();
-    tick(events);
+    tick(events, t0, t1);
   }
 
   // Score the predictions made at the start of this interval.

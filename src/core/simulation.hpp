@@ -157,9 +157,23 @@ class Simulation {
   /// Runs `n` intervals, returning all reports.
   std::vector<EpochReport> run(std::size_t n);
 
+  /// Hands the user slot over to a newcomer (inter-cell handover in a
+  /// multi-cell fleet): the slot's ground-truth affinity becomes
+  /// `incoming`, the walker re-enters the campus at a fresh waypoint, the
+  /// channel draws fresh shadowing/fading state, and the slot's digital
+  /// twin is reset — the BS has no history for an arriving user. Returns
+  /// the departing user's affinity so the caller can seat it elsewhere.
+  /// Any active multicast group keeps the slot until the next regroup
+  /// (group membership is only revised at interval boundaries).
+  behavior::PreferenceVector handover_user(std::size_t slot,
+                                           const behavior::PreferenceVector& incoming);
+
   // --- observability for benches, examples and tests ---
   const SchemeConfig& config() const { return config_; }
   util::SimTime now() const { return now_; }
+  /// Total simulation ticks executed so far (exact: ticks are scheduled by
+  /// integer index within each interval, never by accumulated float time).
+  std::size_t tick_count() const { return tick_count_; }
   const video::Catalog& catalog() const { return catalog_; }
   const twin::TwinStore& twins() const { return *twins_; }
   const twin::CollectorStats& collector_stats() const;
@@ -221,7 +235,8 @@ class Simulation {
         : swiping(swiping_bins, swiping_forgetting) {}
   };
 
-  void tick(std::vector<behavior::ViewEvent>& events);
+  void tick(std::vector<behavior::ViewEvent>& events, util::SimTime t0,
+            util::SimTime t1);
   void drift_affinities();
   double group_live_efficiency(const Group& g) const;
   void start_group_video(Group& g, util::SimTime at);
@@ -253,8 +268,11 @@ class Simulation {
   std::vector<Group> groups_;
   util::SimTime now_ = 0.0;
   util::IntervalId interval_ = 0;
+  std::size_t tick_count_ = 0;
   util::Rng playback_rng_;
   util::Rng cluster_rng_;
+  util::Rng drift_rng_;     // taste drift; never perturbs the playback stream
+  util::Rng handover_rng_;  // fresh state for users arriving via handover
   util::Ewma radio_bias_{0.3};    // EWMA of actual/predicted radio ratio
   util::Ewma compute_bias_{0.3};  // EWMA of actual/predicted compute ratio
 };

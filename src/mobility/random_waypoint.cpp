@@ -78,12 +78,18 @@ void Walker::advance(double dt) {
 }
 
 MobilityField::MobilityField(const CampusMap& map, const MobilityConfig& config,
-                             std::size_t user_count, util::Rng& rng) {
+                             std::size_t user_count, util::Rng& rng)
+    : map_(&map), config_(config) {
   DTMSV_EXPECTS(user_count > 0);
   walkers_.reserve(user_count);
   for (std::size_t i = 0; i < user_count; ++i) {
     walkers_.emplace_back(map, config, rng.fork(i));
   }
+}
+
+void MobilityField::reseat(std::size_t user, util::Rng rng) {
+  DTMSV_EXPECTS(user < walkers_.size());
+  walkers_[user] = Walker(*map_, config_, std::move(rng));
 }
 
 void MobilityField::advance(double dt) {

@@ -56,11 +56,17 @@ class MobilityField {
 
   void advance(double dt);
 
+  /// Replaces one walker with a freshly spawned one (a user handed over
+  /// into this cell enters at a new random waypoint).
+  void reseat(std::size_t user, util::Rng rng);
+
   std::size_t user_count() const { return walkers_.size(); }
   const Position& position_of(std::size_t user) const;
   std::vector<Position> snapshot() const;
 
  private:
+  const CampusMap* map_;
+  MobilityConfig config_;
   std::vector<Walker> walkers_;
 };
 

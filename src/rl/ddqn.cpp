@@ -77,11 +77,15 @@ std::size_t DdqnAgent::greedy_action(std::span<const float> state) {
 }
 
 std::size_t DdqnAgent::act(std::span<const float> state, bool explore) {
-  const double eps = epsilon_.value(action_steps_);
-  ++action_steps_;
-  if (explore && rng_.bernoulli(eps)) {
-    return static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(config_.action_count) - 1));
+  // Only exploring calls consume the exploration budget: evaluation
+  // rollouts (explore=false) must not decay the epsilon schedule.
+  if (explore) {
+    const double eps = epsilon_.value(action_steps_);
+    ++action_steps_;
+    if (rng_.bernoulli(eps)) {
+      return static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(config_.action_count) - 1));
+    }
   }
   return greedy_action(state);
 }

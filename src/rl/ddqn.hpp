@@ -57,7 +57,9 @@ class DdqnAgent {
   /// Builds online and target MLPs (ReLU hidden layers) from `seed`.
   DdqnAgent(const DdqnConfig& config, std::uint64_t seed);
 
-  /// Epsilon-greedy action selection; `explore=false` gives the greedy arm.
+  /// Epsilon-greedy action selection; `explore=false` gives the greedy arm
+  /// and leaves the epsilon schedule untouched (evaluation rollouts do not
+  /// consume the exploration budget).
   std::size_t act(std::span<const float> state, bool explore = true);
 
   /// Greedy action without advancing the exploration step counter.

@@ -4,12 +4,19 @@
 
 namespace dtmsv::twin {
 
-TwinStore::TwinStore(std::size_t user_count, std::size_t history_capacity) {
+TwinStore::TwinStore(std::size_t user_count, std::size_t history_capacity)
+    : history_capacity_(history_capacity) {
   DTMSV_EXPECTS(user_count > 0);
   twins_.reserve(user_count);
   for (std::size_t u = 0; u < user_count; ++u) {
     twins_.emplace_back(u, history_capacity);
   }
+}
+
+void TwinStore::reset_user(std::uint64_t user_id) {
+  DTMSV_EXPECTS(user_id < twins_.size());
+  twins_[static_cast<std::size_t>(user_id)] =
+      UserDigitalTwin(user_id, history_capacity_);
 }
 
 UserDigitalTwin& TwinStore::twin(std::uint64_t user_id) {

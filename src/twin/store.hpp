@@ -20,6 +20,10 @@ class TwinStore {
   UserDigitalTwin& twin(std::uint64_t user_id);
   const UserDigitalTwin& twin(std::uint64_t user_id) const;
 
+  /// Replaces one twin with an empty one (the slot's user was handed over;
+  /// the edge server holds no history for the newcomer).
+  void reset_user(std::uint64_t user_id);
+
   /// Applies preference forgetting on every twin (once per interval).
   void decay_preferences();
 
@@ -34,6 +38,7 @@ class TwinStore {
       util::SimTime now, double window_s, const FeatureScaling& scaling) const;
 
  private:
+  std::size_t history_capacity_;
   std::vector<UserDigitalTwin> twins_;
 };
 

@@ -26,6 +26,15 @@ std::size_t default_thread_count() {
 
 std::atomic<std::size_t> g_override{0};
 
+/// Depth of parallel_for frames on this thread. Non-zero means we are
+/// already inside a pool job (worker or participating caller); a nested
+/// parallel_for then runs inline — the pool's job mutex is held for the
+/// duration of the outer job, so handing nested work to the pool would
+/// deadlock. Inline execution keeps results bit-identical: every kernel
+/// built on parallel_for reduces each output row on exactly one thread
+/// regardless of how the row range is partitioned.
+thread_local std::size_t g_nesting = 0;
+
 /// One parallel_for invocation. Workers snapshot a shared_ptr to the
 /// current job under the pool mutex, so a worker that wakes late holds
 /// its own (kept-alive) Job whose chunk counter is already exhausted —
@@ -113,7 +122,9 @@ class Pool {
       const std::size_t lo = job.begin + span * c / job.chunks;
       const std::size_t hi = job.begin + span * (c + 1) / job.chunks;
       if (lo < hi) {
+        ++g_nesting;
         (*job.fn)(lo, hi);
+        --g_nesting;
       }
       ++finished;
     }
@@ -156,7 +167,7 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t min_grain,
   }
   const std::size_t threads = thread_count();
   const std::size_t span = end - begin;
-  if (threads <= 1 || span < min_grain) {
+  if (threads <= 1 || span < min_grain || g_nesting > 0) {
     fn(begin, end);
     return;
   }

@@ -30,6 +30,9 @@ void set_thread_count(std::size_t n);
 /// [begin, end). Chunk boundaries depend only on (begin, end, thread
 /// count), never on scheduling, and a range shorter than min_grain (or a
 /// 1-thread pool) executes fn(begin, end) inline on the caller's thread.
+/// Reentrant: a parallel_for issued from inside a running job (e.g. a
+/// matmul inside a fleet-level per-cell loop) executes inline on that
+/// worker, so coarse outer parallelism wins and nesting cannot deadlock.
 /// fn must not throw; exceptions escaping a worker terminate the process.
 void parallel_for(std::size_t begin, std::size_t end, std::size_t min_grain,
                   const std::function<void(std::size_t, std::size_t)>& fn);

@@ -76,6 +76,18 @@ void ChannelModel::step(const std::vector<mobility::Position>& positions) {
   stepped_ = true;
 }
 
+void ChannelModel::reset_user(std::size_t user, util::Rng& rng) {
+  DTMSV_EXPECTS(user < last_samples_.size());
+  auto& links = shadowing_[user];
+  for (std::size_t b = 0; b < bs_positions_.size(); ++b) {
+    links[b] = ShadowingProcess(config_.shadowing_sigma_db,
+                                config_.shadowing_decorrelation_m,
+                                rng.fork(user * 131 + b));
+  }
+  fading_[user] = RayleighFading(config_.doppler_hz, config_.sample_interval_s,
+                                 rng.fork(0xFAD0 + user));
+}
+
 const ChannelSample& ChannelModel::sample_of(std::size_t user) const {
   DTMSV_EXPECTS(user < last_samples_.size());
   DTMSV_EXPECTS_MSG(stepped_, "ChannelModel: no samples yet; call step() first");

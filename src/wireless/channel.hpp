@@ -48,6 +48,12 @@ class ChannelModel {
   /// (positions.size() must equal user_count()).
   void step(const std::vector<mobility::Position>& positions);
 
+  /// Re-draws one user's shadowing and fading processes from `rng` (a user
+  /// handed over into this cell sees statistically fresh links; the old
+  /// occupant's correlated state must not leak into the newcomer). The
+  /// user's sample refreshes on the next step().
+  void reset_user(std::size_t user, util::Rng& rng);
+
   std::size_t user_count() const { return last_samples_.size(); }
   std::size_t bs_count() const { return bs_positions_.size(); }
 

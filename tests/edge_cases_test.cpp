@@ -14,6 +14,7 @@
 #include "clustering/kmeans.hpp"
 #include "core/feature_compressor.hpp"
 #include "core/group_constructor.hpp"
+#include "core/simulation.hpp"
 #include "nn/activations.hpp"
 #include "nn/linear.hpp"
 #include "nn/sequential.hpp"
@@ -295,6 +296,47 @@ TEST(SwipingCorners, ExpectedMaxHugeGroupSaturates) {
   const double e = dist.expected_max_watch_fraction(video::Category::kGame, 100000);
   EXPECT_GT(e, 0.9);
   EXPECT_LE(e, 1.0);
+}
+
+// -------------------------------------------------- sub-second clip corner
+
+TEST(GroupPlaybackCorners, SubPointTwoSecondClipsPlayCleanly) {
+  // Regression: the group on-air window was clamped into [0.2, duration],
+  // which is UB (clamp with lo > hi) whenever a clip runs shorter than
+  // 0.2 s. A catalog made entirely of such clips must play through the
+  // grouped pipeline with every window bounded by its clip length.
+  core::SchemeConfig cfg;
+  cfg.seed = 77;
+  cfg.user_count = 12;
+  cfg.interval_s = 30.0;
+  cfg.warmup_intervals = 1;
+  cfg.feature_window_s = 60.0;
+  cfg.feature_timesteps = 16;
+  cfg.session.engagement.catalog.videos_per_category = 12;
+  cfg.session.engagement.catalog.min_duration_s = 0.05;
+  cfg.session.engagement.catalog.max_duration_s = 0.15;
+  cfg.compressor.epochs_per_fit = 1;
+  cfg.grouping.k_min = 2;
+  cfg.grouping.k_max = 4;
+  cfg.grouping.ddqn.hidden = {16};
+  cfg.grouping.kmeans.restarts = 2;
+  cfg.demand.interval_s = cfg.interval_s;
+  cfg.recommender.playlist_size = 16;
+
+  core::Simulation sim(cfg);
+  const auto reports = sim.run(3);
+  for (const auto& r : reports) {
+    EXPECT_TRUE(std::isfinite(r.actual_radio_hz_total));
+    EXPECT_TRUE(std::isfinite(r.predicted_radio_hz_total));
+    if (!r.grouped) {
+      continue;
+    }
+    EXPECT_GT(r.actual_radio_hz_total, 0.0);
+    for (const auto& g : r.groups) {
+      // Sub-0.2 s clips + swipe gaps: a 30 s interval burns through many.
+      EXPECT_GT(g.videos_played, 10u);
+    }
+  }
 }
 
 // --------------------------------------------------------- session corners

@@ -439,6 +439,49 @@ TEST(Simulation, PipelineSurvivesTasteDrift) {
   EXPECT_GT(*acc, 0.4) << "drifting tastes should degrade gracefully, not break";
 }
 
+TEST(Simulation, TickCountsExactOverLongHorizon) {
+  // Regression: ticks used to be scheduled by accumulating now_ += tick_s
+  // in floating point against an epsilon-guarded boundary, so tick counts
+  // drifted after thousands of intervals at sub-second tick_s. Ticks are
+  // now indexed within the interval and boundaries are exact.
+  SchemeConfig cfg = fast_config(61);
+  cfg.user_count = 2;
+  cfg.interval_s = 5.0;
+  cfg.tick_s = 0.1;
+  cfg.warmup_intervals = 1000000;  // stay in warm-up: no clustering cost
+  cfg.session.engagement.catalog.videos_per_category = 8;
+  Simulation sim(cfg);
+  const std::size_t intervals = 200;
+  sim.run(intervals);
+  EXPECT_EQ(sim.tick_count(), intervals * 50u);
+  // Interval boundaries land exactly on their nominal times — bitwise.
+  EXPECT_EQ(sim.now(), static_cast<double>(intervals) * cfg.interval_s);
+}
+
+TEST(Simulation, DriftToggleLeavesOtherStreamsUntouched) {
+  // Regression: drift targets used to be drawn from the playback stream,
+  // so merely enabling affinity_drift_rate perturbed group playback and
+  // broke A/B comparability across scenarios. With a vanishing drift rate
+  // (every nudge is absorbed by double rounding) the trajectories must now
+  // be bit-identical to drift disabled — through grouping and playback.
+  SchemeConfig off = fast_config(63);
+  SchemeConfig on = off;
+  on.affinity_drift_rate = 1e-300;  // draws drift targets, moves nothing
+  Simulation a(off);
+  Simulation b(on);
+  const auto ra = a.run(4);
+  const auto rb = b.run(4);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].k, rb[i].k);
+    EXPECT_DOUBLE_EQ(ra[i].silhouette, rb[i].silhouette);
+    EXPECT_DOUBLE_EQ(ra[i].actual_radio_hz_total, rb[i].actual_radio_hz_total);
+    EXPECT_DOUBLE_EQ(ra[i].predicted_radio_hz_total,
+                     rb[i].predicted_radio_hz_total);
+    EXPECT_DOUBLE_EQ(ra[i].actual_compute_total, rb[i].actual_compute_total);
+  }
+}
+
 TEST(FailureInjection, DegradedCollectionHurtsAccuracy) {
   // The DT premise: fresher twins → better predictions. Compare mean radio
   // error with pristine vs. heavily degraded collection over several seeds

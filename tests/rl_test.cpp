@@ -167,6 +167,25 @@ TEST(DdqnAgent, EpsilonDecaysWithActions) {
   EXPECT_EQ(agent.action_steps(), 100u);
 }
 
+TEST(DdqnAgent, EvalActionsLeaveEpsilonScheduleUntouched) {
+  // Regression: act(explore=false) used to advance the schedule, so
+  // evaluation rollouts silently consumed the exploration budget.
+  DdqnAgent agent(small_config(), 29);
+  const double eps0 = agent.current_epsilon();
+  const std::vector<float> state = {0.3f, -0.7f};
+  for (int i = 0; i < 50; ++i) {
+    agent.act(state, /*explore=*/false);
+  }
+  EXPECT_EQ(agent.action_steps(), 0u);
+  EXPECT_DOUBLE_EQ(agent.current_epsilon(), eps0);
+  // Exploring calls still decay it.
+  for (int i = 0; i < 10; ++i) {
+    agent.act(state, /*explore=*/true);
+  }
+  EXPECT_EQ(agent.action_steps(), 10u);
+  EXPECT_LT(agent.current_epsilon(), eps0);
+}
+
 TEST(DdqnAgent, NoTrainingBeforeMinReplay) {
   DdqnAgent agent(small_config(), 10);
   agent.observe(make_transition(0.1f));
