@@ -21,10 +21,10 @@ struct ModeResult {
   double wall_ms_per_interval = 0.0;
 };
 
-ModeResult run_mode(const std::string& name, core::KSelectionMode mode,
+ModeResult run_mode(const std::string& name, const std::string& stage_key,
                     std::size_t fixed_k, std::size_t warmup, std::size_t report) {
   core::SchemeConfig config = bench::sweep_config(/*seed=*/7);
-  config.k_mode = mode;
+  config.grouping_stage = stage_key;  // StageRegistry key (ABL-CLU arm)
   config.fixed_k = fixed_k;
   core::Simulation sim(config);
   bench::run_series(sim, warmup);
@@ -49,21 +49,14 @@ int main() {
   std::vector<ModeResult> results;
   std::cout << "running 7 K-selection variants x " << kWarmup + kReport
             << " intervals...\n";
-  results.push_back(
-      run_mode("ddqn (paper)", core::KSelectionMode::kDdqn, 0, kWarmup, kReport));
-  results.push_back(
-      run_mode("fixed-2", core::KSelectionMode::kFixed, 2, kWarmup, kReport));
-  results.push_back(
-      run_mode("fixed-4", core::KSelectionMode::kFixed, 4, kWarmup, kReport));
-  results.push_back(
-      run_mode("fixed-8", core::KSelectionMode::kFixed, 8, kWarmup, kReport));
-  results.push_back(
-      run_mode("elbow", core::KSelectionMode::kElbow, 0, kWarmup, kReport));
-  results.push_back(
-      run_mode("random", core::KSelectionMode::kRandom, 0, kWarmup, kReport));
-  results.push_back(run_mode("silhouette-sweep (oracle)",
-                             core::KSelectionMode::kSilhouetteSweep, 0, kWarmup,
-                             kReport));
+  results.push_back(run_mode("ddqn (paper)", "ddqn", 0, kWarmup, kReport));
+  results.push_back(run_mode("fixed-2", "fixed", 2, kWarmup, kReport));
+  results.push_back(run_mode("fixed-4", "fixed", 4, kWarmup, kReport));
+  results.push_back(run_mode("fixed-8", "fixed", 8, kWarmup, kReport));
+  results.push_back(run_mode("elbow", "elbow", 0, kWarmup, kReport));
+  results.push_back(run_mode("random", "random", 0, kWarmup, kReport));
+  results.push_back(run_mode("silhouette-sweep (oracle)", "silhouette", 0,
+                             kWarmup, kReport));
 
   util::Table table({"K selection", "mean K", "mean silhouette", "radio accuracy",
                      "compute accuracy", "ms/interval (report phase)"});

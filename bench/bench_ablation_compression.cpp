@@ -23,10 +23,10 @@ struct ModeResult {
   double wall_ms_per_interval = 0.0;
 };
 
-ModeResult run_mode(const std::string& name, core::FeatureMode mode,
+ModeResult run_mode(const std::string& name, const std::string& stage_key,
                     std::size_t warmup, std::size_t report) {
   core::SchemeConfig config = bench::sweep_config(/*seed=*/11);
-  config.feature_mode = mode;
+  config.feature_stage = stage_key;  // StageRegistry key (ABL-CMP arm)
   core::Simulation sim(config);
   bench::run_series(sim, warmup);
   const auto start = std::chrono::steady_clock::now();
@@ -35,17 +35,13 @@ ModeResult run_mode(const std::string& name, core::FeatureMode mode,
   result.wall_ms_per_interval =
       std::chrono::duration<double, std::milli>(stop - start).count() /
       static_cast<double>(report);
-  switch (mode) {
-    case core::FeatureMode::kCnnEmbedding:
-      result.feature_dim = config.compressor.embedding_dim;
-      break;
-    case core::FeatureMode::kRawWindow:
-      result.feature_dim =
-          twin::UserDigitalTwin::kFeatureChannels * config.feature_timesteps;
-      break;
-    case core::FeatureMode::kSummaryStats:
-      result.feature_dim = 6 + video::kCategoryCount;
-      break;
+  if (stage_key == "cnn") {
+    result.feature_dim = config.compressor.embedding_dim;
+  } else if (stage_key == "raw") {
+    result.feature_dim =
+        twin::UserDigitalTwin::kFeatureChannels * config.feature_timesteps;
+  } else {
+    result.feature_dim = 6 + video::kCategoryCount;
   }
   return result;
 }
@@ -59,12 +55,9 @@ int main() {
   std::cout << "running 3 feature modes x " << kWarmup + kReport
             << " intervals...\n";
   std::vector<ModeResult> results;
-  results.push_back(run_mode("1D-CNN embedding (paper)",
-                             core::FeatureMode::kCnnEmbedding, kWarmup, kReport));
-  results.push_back(
-      run_mode("raw window", core::FeatureMode::kRawWindow, kWarmup, kReport));
-  results.push_back(run_mode("summary statistics", core::FeatureMode::kSummaryStats,
-                             kWarmup, kReport));
+  results.push_back(run_mode("1D-CNN embedding (paper)", "cnn", kWarmup, kReport));
+  results.push_back(run_mode("raw window", "raw", kWarmup, kReport));
+  results.push_back(run_mode("summary statistics", "summary", kWarmup, kReport));
 
   util::Table table({"feature source", "dim", "mean K", "mean silhouette",
                      "radio accuracy", "compute accuracy", "ms/interval"});

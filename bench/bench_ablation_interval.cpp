@@ -2,7 +2,10 @@
 // reservation interval. The paper fixes it at 5 minutes; this bench sweeps
 // it and reports prediction accuracy plus the provisioning consequences
 // (how much spectrum a planner reserving prediction + 10% headroom wastes
-// or misses).
+// or misses), and the per-stage wall-time breakdown of the interval loop
+// (compression vs. grouping vs. demand prediction vs. environment
+// simulation), emitted into BENCH_micro_perf.json so the perf trajectory
+// can attribute interval cost per stage.
 //
 // Shape to reproduce: short intervals track the system closely but are
 // noisy (few videos per interval); very long intervals average nicely but
@@ -10,6 +13,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "bench_to_json.hpp"
 
 namespace {
 
@@ -20,6 +24,7 @@ struct IntervalResult {
   bench::RunSeries series;
   double waste_frac = 0.0;  // over-reserved fraction of actual demand
   double unmet_frac = 0.0;  // unmet fraction of actual demand
+  core::StageTimings timings;  // measured over the reported intervals only
 };
 
 IntervalResult run_interval_config(double interval_s, double total_sim_s) {
@@ -35,7 +40,9 @@ IntervalResult run_interval_config(double interval_s, double total_sim_s) {
   // Warm up one third, report the rest.
   const std::size_t warmup = intervals / 3;
   bench::run_series(sim, warmup);
+  sim.reset_stage_timings();  // attribute stage cost to the scored slice only
   result.series = bench::run_series(sim, intervals - warmup);
+  result.timings = sim.stage_timings();
 
   // Provisioning outcome for a planner reserving prediction x 1.1.
   double reserved_hz_s = 0.0;
@@ -83,5 +90,36 @@ int main() {
                    util::percent(r.waste_frac, 1), util::percent(r.unmet_frac, 1)});
   }
   table.print("ABL-INT: reservation interval sweep (paper uses 300 s)");
+
+  // Per-stage wall-time breakdown: where each configuration's interval loop
+  // actually spends its time (per simulated interval, milliseconds).
+  util::Table stages({"interval", "simulate ms", "feature ms", "grouping ms",
+                      "demand ms", "pipeline share"});
+  std::vector<bench::ManualBenchResult> json;
+  for (const auto& r : results) {
+    const auto n = static_cast<double>(std::max<std::size_t>(r.timings.intervals, 1));
+    const double total = r.timings.total_s();
+    stages.add_row({util::fixed(r.interval_s, 0) + " s",
+                    util::fixed(1e3 * r.timings.simulate_s / n, 2),
+                    util::fixed(1e3 * r.timings.feature_s / n, 2),
+                    util::fixed(1e3 * r.timings.grouping_s / n, 2),
+                    util::fixed(1e3 * r.timings.demand_s / n, 2),
+                    total > 0.0 ? util::percent(r.timings.pipeline_s() / total, 1)
+                                : "-"});
+    bench::ManualBenchResult entry;
+    entry.name = "ABL_INT/StageBreakdown/interval_" +
+                 std::to_string(static_cast<int>(r.interval_s)) + "s";
+    entry.real_time_s = total / n;
+    entry.counters = {
+        {"simulate_s_per_interval", r.timings.simulate_s / n},
+        {"feature_s_per_interval", r.timings.feature_s / n},
+        {"grouping_s_per_interval", r.timings.grouping_s / n},
+        {"demand_s_per_interval", r.timings.demand_s / n},
+        {"scored_intervals", static_cast<double>(r.timings.intervals)},
+    };
+    json.push_back(std::move(entry));
+  }
+  stages.print("ABL-INT: per-stage wall time per interval");
+  bench::write_manual_benchmarks_json("BENCH_micro_perf.json", json);
   return 0;
 }

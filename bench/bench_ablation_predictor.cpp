@@ -20,12 +20,11 @@ struct VariantResult {
   bench::RunSeries series;
 };
 
-VariantResult run_variant(const std::string& name, bool joint,
-                          core::ChannelPredictorKind kind, bool bias_correction,
-                          std::size_t warmup, std::size_t report) {
+VariantResult run_variant(const std::string& name, const std::string& stage_key,
+                          bool bias_correction, std::size_t warmup,
+                          std::size_t report) {
   core::SchemeConfig config = bench::sweep_config(/*seed=*/13);
-  config.joint_group_efficiency = joint;
-  config.channel_predictor = kind;
+  config.demand_stage = stage_key;  // StageRegistry key (ABL-PRED arm)
   config.online_bias_correction = bias_correction;
   core::Simulation sim(config);
   bench::run_series(sim, warmup);
@@ -42,26 +41,19 @@ int main() {
             << " intervals...\n";
   std::vector<VariantResult> results;
   results.push_back(run_variant("joint min-series + calibration (paper)",
-                                true, core::ChannelPredictorKind::kEwma, true,
-                                kWarmup, kReport));
-  results.push_back(run_variant("joint min-series, no calibration", true,
-                                core::ChannelPredictorKind::kEwma, false,
-                                kWarmup, kReport));
-  results.push_back(run_variant("min of per-member ewma", false,
-                                core::ChannelPredictorKind::kEwma, true, kWarmup,
+                                "joint", true, kWarmup, kReport));
+  results.push_back(run_variant("joint min-series, no calibration", "joint",
+                                false, kWarmup, kReport));
+  results.push_back(run_variant("min of per-member ewma", "ewma", true, kWarmup,
                                 kReport));
-  results.push_back(run_variant("min of per-member last-value", false,
-                                core::ChannelPredictorKind::kLastValue, true,
-                                kWarmup, kReport));
-  results.push_back(run_variant("min of per-member linear-trend", false,
-                                core::ChannelPredictorKind::kLinearTrend, true,
-                                kWarmup, kReport));
-  results.push_back(run_variant("min of per-member mean", false,
-                                core::ChannelPredictorKind::kMean, true, kWarmup,
+  results.push_back(run_variant("min of per-member last-value", "last_value",
+                                true, kWarmup, kReport));
+  results.push_back(run_variant("min of per-member linear-trend", "linear_trend",
+                                true, kWarmup, kReport));
+  results.push_back(run_variant("min of per-member mean", "mean", true, kWarmup,
                                 kReport));
-  results.push_back(run_variant("min of per-member mean, no calibration", false,
-                                core::ChannelPredictorKind::kMean, false,
-                                kWarmup, kReport));
+  results.push_back(run_variant("min of per-member mean, no calibration", "mean",
+                                false, kWarmup, kReport));
 
   util::Table table({"group channel forecast", "radio accuracy",
                      "radio RMSE (MHz)", "compute accuracy"});

@@ -35,8 +35,11 @@ inline core::SchemeConfig sweep_config(std::uint64_t seed = 2023) {
   return config;
 }
 
-/// Accumulated series of one simulation run.
-struct RunSeries {
+/// Accumulated series of one simulation run. A streaming core::ReportSink:
+/// feed it to Simulation::run_interval(sink) (as run_series does) and it
+/// accumulates the per-interval totals without any EpochReport vector in
+/// between.
+struct RunSeries : public core::ReportSink {
   std::vector<double> predicted_radio;
   std::vector<double> actual_radio;
   std::vector<double> predicted_compute;
@@ -55,6 +58,8 @@ struct RunSeries {
     k_chosen.push_back(report.k);
     silhouette.push_back(report.silhouette);
   }
+
+  void on_interval(const core::EpochReport& report) override { add(report); }
 
   std::size_t size() const { return actual_radio.size(); }
 
@@ -106,12 +111,10 @@ struct RunSeries {
   }
 };
 
-/// Runs `intervals` reservation intervals and collects the series.
+/// Runs `intervals` reservation intervals, streaming into the series sink.
 inline RunSeries run_series(core::Simulation& sim, std::size_t intervals) {
   RunSeries series;
-  for (std::size_t i = 0; i < intervals; ++i) {
-    series.add(sim.run_interval());
-  }
+  sim.run(intervals, series);
   return series;
 }
 

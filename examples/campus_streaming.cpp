@@ -36,54 +36,68 @@ int main(int argc, char** argv) {
             << sim.catalog().size() << " videos, "
             << config.interval_s << " s reservation interval\n";
 
-  util::Table table({"interval", "groups", "K next", "sil", "min|max group",
-                     "videos", "pred MHz", "act MHz", "radio err", "pred Gcyc",
-                     "act Gcyc"});
-  util::CsvWriter csv;
-  csv.set_header({"interval", "k", "silhouette", "predicted_radio_hz",
-                  "actual_radio_hz", "radio_error", "predicted_compute_cycles",
-                  "actual_compute_cycles"});
+  // Streaming consumption: group extremes are folded in on_group as each
+  // group is scored, so no per-interval group vector is ever materialized.
+  struct OperationsSink final : core::ReportSink {
+    util::Table table{{"interval", "groups", "K next", "sil", "min|max group",
+                       "videos", "pred MHz", "act MHz", "radio err", "pred Gcyc",
+                       "act Gcyc"}};
+    util::CsvWriter csv;
+    std::vector<double> pred_radio;
+    std::vector<double> act_radio;
+    std::vector<double> pred_compute;
+    std::vector<double> act_compute;
 
-  std::vector<double> pred_radio;
-  std::vector<double> act_radio;
-  std::vector<double> pred_compute;
-  std::vector<double> act_compute;
-
-  for (int i = 0; i < intervals; ++i) {
-    const core::EpochReport r = sim.run_interval();
-    if (!r.has_prediction) {
-      table.add_row({std::to_string(r.interval), "-", std::to_string(r.k), "-",
-                     "warm-up", "-", "-", "-", "-", "-", "-"});
-      continue;
-    }
-    std::size_t smallest = r.groups.front().size;
-    std::size_t largest = r.groups.front().size;
+    std::size_t groups = 0;
+    std::size_t smallest = 0;
+    std::size_t largest = 0;
     std::size_t videos = 0;
-    for (const auto& g : r.groups) {
-      smallest = std::min(smallest, g.size);
+
+    void on_group(const core::GroupReport& g, util::IntervalId) override {
+      smallest = groups == 0 ? g.size : std::min(smallest, g.size);
       largest = std::max(largest, g.size);
       videos += g.videos_played;
+      ++groups;
     }
-    pred_radio.push_back(r.predicted_radio_hz_total);
-    act_radio.push_back(r.actual_radio_hz_total);
-    pred_compute.push_back(r.predicted_compute_total);
-    act_compute.push_back(r.actual_compute_total);
 
-    table.add_row({std::to_string(r.interval), std::to_string(r.groups.size()),
-                   std::to_string(r.k), util::fixed(r.silhouette, 2),
-                   std::to_string(smallest) + "|" + std::to_string(largest),
-                   std::to_string(videos),
-                   util::fixed(r.predicted_radio_hz_total / 1e6, 3),
-                   util::fixed(r.actual_radio_hz_total / 1e6, 3),
-                   util::percent(r.radio_error, 1),
-                   util::fixed(r.predicted_compute_total / 1e9, 1),
-                   util::fixed(r.actual_compute_total / 1e9, 1)});
-    csv.add_row(std::vector<double>{
-        static_cast<double>(r.interval), static_cast<double>(r.k), r.silhouette,
-        r.predicted_radio_hz_total, r.actual_radio_hz_total, r.radio_error,
-        r.predicted_compute_total, r.actual_compute_total});
-  }
-  table.print("campus streaming: per-interval operations view");
+    void on_interval(const core::EpochReport& r) override {
+      if (!r.has_prediction) {
+        table.add_row({std::to_string(r.interval), "-", std::to_string(r.k), "-",
+                       "warm-up", "-", "-", "-", "-", "-", "-"});
+      } else {
+        pred_radio.push_back(r.predicted_radio_hz_total);
+        act_radio.push_back(r.actual_radio_hz_total);
+        pred_compute.push_back(r.predicted_compute_total);
+        act_compute.push_back(r.actual_compute_total);
+
+        table.add_row({std::to_string(r.interval), std::to_string(groups),
+                       std::to_string(r.k), util::fixed(r.silhouette, 2),
+                       std::to_string(smallest) + "|" + std::to_string(largest),
+                       std::to_string(videos),
+                       util::fixed(r.predicted_radio_hz_total / 1e6, 3),
+                       util::fixed(r.actual_radio_hz_total / 1e6, 3),
+                       util::percent(r.radio_error, 1),
+                       util::fixed(r.predicted_compute_total / 1e9, 1),
+                       util::fixed(r.actual_compute_total / 1e9, 1)});
+        csv.add_row(std::vector<double>{
+            static_cast<double>(r.interval), static_cast<double>(r.k), r.silhouette,
+            r.predicted_radio_hz_total, r.actual_radio_hz_total, r.radio_error,
+            r.predicted_compute_total, r.actual_compute_total});
+      }
+      groups = smallest = largest = videos = 0;
+    }
+  } sink;
+  sink.csv.set_header({"interval", "k", "silhouette", "predicted_radio_hz",
+                       "actual_radio_hz", "radio_error", "predicted_compute_cycles",
+                       "actual_compute_cycles"});
+
+  sim.run(static_cast<std::size_t>(intervals), sink);
+  sink.table.print("campus streaming: per-interval operations view");
+  const std::vector<double>& pred_radio = sink.pred_radio;
+  const std::vector<double>& act_radio = sink.act_radio;
+  const std::vector<double>& pred_compute = sink.pred_compute;
+  const std::vector<double>& act_compute = sink.act_compute;
+  util::CsvWriter& csv = sink.csv;
 
   const auto radio_acc = util::prediction_accuracy(act_radio, pred_radio);
   const auto compute_acc = util::volume_weighted_accuracy(act_compute, pred_compute);

@@ -37,22 +37,31 @@ int main(int argc, char** argv) {
 
   predict::ReservationPolicy policy;
   policy.headroom = headroom;
-  predict::CapacityPlanner dt_planner(policy);
-  predict::CapacityPlanner naive_planner(policy);
-  predict::LastValueSeries last_value;
 
-  for (int i = 0; i < intervals; ++i) {
-    const core::EpochReport r = sim.run_interval();
-    if (!r.has_prediction) {
-      continue;
+  // The planners consume the interval stream directly: a ReportSink is the
+  // natural shape for a downstream reservation system (nothing buffered).
+  struct PlannerSink final : core::ReportSink {
+    explicit PlannerSink(const predict::ReservationPolicy& policy)
+        : dt_planner(policy), naive_planner(policy) {}
+    predict::CapacityPlanner dt_planner;
+    predict::CapacityPlanner naive_planner;
+    predict::LastValueSeries last_value;
+
+    void on_interval(const core::EpochReport& r) override {
+      if (!r.has_prediction) {
+        return;
+      }
+      // DT-assisted reservation: model prediction + headroom.
+      dt_planner.step(r.predicted_radio_hz_total, r.actual_radio_hz_total);
+      // Baseline: last interval's realized demand + the same headroom.
+      naive_planner.step(last_value.forecast(r.actual_radio_hz_total),
+                         r.actual_radio_hz_total);
+      last_value.observe(r.actual_radio_hz_total);
     }
-    // DT-assisted reservation: model prediction + headroom.
-    dt_planner.step(r.predicted_radio_hz_total, r.actual_radio_hz_total);
-    // Baseline: last interval's realized demand + the same headroom.
-    naive_planner.step(last_value.forecast(r.actual_radio_hz_total),
-                       r.actual_radio_hz_total);
-    last_value.observe(r.actual_radio_hz_total);
-  }
+  } sink(policy);
+  sim.run(static_cast<std::size_t>(intervals), sink);
+  const predict::CapacityPlanner& dt_planner = sink.dt_planner;
+  const predict::CapacityPlanner& naive_planner = sink.naive_planner;
 
   const auto row = [&](const char* name, const predict::CapacityPlanner& p) {
     const auto& o = p.outcome();

@@ -34,10 +34,20 @@ int main() {
 
   // 2. Flash crowd in detail: per-interval fleet aggregates. The surge
   //    lands in interval 2, warms up, then its demand joins the totals.
+  //    A streaming ReportSink watches the run live: per-group reports and
+  //    handover events arrive as they happen, nothing is buffered.
+  struct FleetWatcher final : core::ReportSink {
+    std::size_t groups_seen = 0;
+    std::size_t handovers_seen = 0;
+    void on_group(const core::GroupReport&, util::IntervalId) override {
+      ++groups_seen;
+    }
+    void on_handover(const core::HandoverEvent&) override { ++handovers_seen; }
+  } watcher;
   core::ScenarioConfig crowd =
       core::make_scenario(core::ScenarioKind::kFlashCrowd, kUsers, kCells, 7);
   crowd.intervals = 6;
-  const core::ScenarioResult result = core::run_scenario(crowd);
+  const core::ScenarioResult result = core::run_scenario(crowd, &watcher);
 
   util::Table detail({"interval", "users", "grouped shards", "predicted MHz",
                       "actual MHz", "fleet err", "worst cell err"});
@@ -55,6 +65,8 @@ int main() {
                std::to_string(crowd.surge_interval));
 
   std::cout << "\nfleet radio demand prediction accuracy: "
-            << util::percent(result.radio_accuracy, 2) << "\n";
+            << util::percent(result.radio_accuracy, 2) << "\n"
+            << "streamed group reports observed by the sink: "
+            << watcher.groups_seen << "\n";
   return 0;
 }

@@ -28,27 +28,38 @@ int main() {
   // 2. Build the simulation (campus, users, channels, twins, learning).
   core::Simulation sim(config);
 
-  // 3. Run intervals; each report pairs the demand predicted one interval
-  //    ahead with what the multicast groups actually consumed.
-  util::Table table({"interval", "groups", "K", "silhouette", "predicted MHz",
-                     "actual MHz", "error"});
-  std::vector<double> predicted;
-  std::vector<double> actual;
-  for (int i = 0; i < 8; ++i) {
-    const core::EpochReport r = sim.run_interval();
-    if (!r.has_prediction) {
-      table.add_row({std::to_string(r.interval), "warm-up", "-", "-", "-", "-", "-"});
-      continue;
+  // 3. Run intervals through a streaming ReportSink; each interval report
+  //    pairs the demand predicted one interval ahead with what the
+  //    multicast groups actually consumed (groups arrive via on_group).
+  struct QuickstartSink final : core::ReportSink {
+    util::Table table{{"interval", "groups", "K", "silhouette", "predicted MHz",
+                       "actual MHz", "error"}};
+    std::vector<double> predicted;
+    std::vector<double> actual;
+    std::size_t interval_groups = 0;
+
+    void on_group(const core::GroupReport&, util::IntervalId) override {
+      ++interval_groups;
     }
-    predicted.push_back(r.predicted_radio_hz_total);
-    actual.push_back(r.actual_radio_hz_total);
-    table.add_row({std::to_string(r.interval), std::to_string(r.groups.size()),
-                   std::to_string(r.k), util::fixed(r.silhouette, 3),
-                   util::fixed(r.predicted_radio_hz_total / 1e6, 3),
-                   util::fixed(r.actual_radio_hz_total / 1e6, 3),
-                   util::percent(r.radio_error, 1)});
-  }
-  table.print("dtmsv quickstart: predicted vs actual radio demand");
+    void on_interval(const core::EpochReport& r) override {
+      if (!r.has_prediction) {
+        table.add_row({std::to_string(r.interval), "warm-up", "-", "-", "-", "-", "-"});
+      } else {
+        predicted.push_back(r.predicted_radio_hz_total);
+        actual.push_back(r.actual_radio_hz_total);
+        table.add_row({std::to_string(r.interval), std::to_string(interval_groups),
+                       std::to_string(r.k), util::fixed(r.silhouette, 3),
+                       util::fixed(r.predicted_radio_hz_total / 1e6, 3),
+                       util::fixed(r.actual_radio_hz_total / 1e6, 3),
+                       util::percent(r.radio_error, 1)});
+      }
+      interval_groups = 0;
+    }
+  } sink;
+  sim.run(8, sink);
+  sink.table.print("dtmsv quickstart: predicted vs actual radio demand");
+  const std::vector<double>& predicted = sink.predicted;
+  const std::vector<double>& actual = sink.actual;
 
   // 4. The paper's headline metric: prediction accuracy = 1 - MAPE.
   if (const auto acc = util::prediction_accuracy(actual, predicted)) {

@@ -58,5 +58,8 @@
 
 // The paper's contribution.
 #include "core/feature_compressor.hpp"  // IWYU pragma: export
+#include "core/fleet.hpp"               // IWYU pragma: export
 #include "core/group_constructor.hpp"   // IWYU pragma: export
+#include "core/pipeline.hpp"            // IWYU pragma: export
+#include "core/scenarios.hpp"           // IWYU pragma: export
 #include "core/simulation.hpp"          // IWYU pragma: export

@@ -1,6 +1,7 @@
 #include "core/fleet.hpp"
 
 #include <cmath>
+#include <optional>
 
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -18,14 +19,75 @@ std::uint64_t shard_seed(std::uint64_t fleet_seed, std::uint64_t seq) {
   return sm.next();
 }
 
+/// Per-shard streaming accumulator used in the parallel phase. Reduces the
+/// shard's interval to the ShardSummary scalars and the per-group error
+/// distribution on the fly; only when a caller sink is attached does it
+/// additionally buffer the stream for the deterministic fixed-order replay
+/// after the barrier.
+class ShardAccumulator final : public ReportSink {
+ public:
+  void enable_buffering() { buffering_ = true; }
+
+  void on_group(const GroupReport& group, util::IntervalId interval) override {
+    if (group.actual_radio_hz > 0.0) {
+      group_error.add(std::abs(group.predicted_radio_hz - group.actual_radio_hz) /
+                      group.actual_radio_hz);
+    }
+    if (buffering_) {
+      buffered_groups_.push_back(group);
+      buffered_group_intervals_.push_back(interval);
+    }
+  }
+
+  void on_interval(const EpochReport& report) override {
+    summary.grouped = report.grouped;
+    summary.has_prediction = report.has_prediction;
+    summary.k = report.k;
+    summary.silhouette = report.silhouette;
+    summary.predicted_radio_hz_total = report.predicted_radio_hz_total;
+    summary.actual_radio_hz_total = report.actual_radio_hz_total;
+    summary.predicted_compute_total = report.predicted_compute_total;
+    summary.actual_compute_total = report.actual_compute_total;
+    summary.unicast_radio_hz_total = report.unicast_radio_hz_total;
+    summary.radio_error = report.radio_error;
+    summary.compute_error = report.compute_error;
+    if (buffering_) {
+      buffered_interval_ = report;  // `groups` already empty in streaming mode
+    }
+  }
+
+  /// Replays the buffered stream into the caller's sink (fixed shard order).
+  void replay(ReportSink& sink) const {
+    for (std::size_t i = 0; i < buffered_groups_.size(); ++i) {
+      sink.on_group(buffered_groups_[i], buffered_group_intervals_[i]);
+    }
+    if (buffered_interval_.has_value()) {
+      sink.on_interval(*buffered_interval_);
+    }
+  }
+
+  ShardSummary summary;
+  util::RunningStats group_error;
+
+ private:
+  bool buffering_ = false;
+  std::vector<GroupReport> buffered_groups_;
+  std::vector<util::IntervalId> buffered_group_intervals_;
+  std::optional<EpochReport> buffered_interval_;
+};
+
 }  // namespace
 
-SimulationFleet::SimulationFleet(const FleetConfig& config)
-    : config_(config),
-      churn_rng_(util::SplitMix64(config.seed ^ 0xF1EE7C0DEULL).next()) {
-  DTMSV_EXPECTS(config.cell_count > 0);
+void validate(const FleetConfig& config) {
+  DTMSV_EXPECTS_MSG(config.cell_count > 0, "FleetConfig: cell_count must be > 0");
   DTMSV_EXPECTS_MSG(config.total_users >= config.cell_count,
-                    "SimulationFleet: every cell needs at least one user");
+                    "FleetConfig: every cell needs at least one user");
+  validate(config.base);
+}
+
+SimulationFleet::SimulationFleet(const FleetConfig& config)
+    : config_((validate(config), config)),
+      churn_rng_(util::SplitMix64(config.seed ^ 0xF1EE7C0DEULL).next()) {
   shards_.reserve(config.cell_count);
   const std::size_t per_cell = config.total_users / config.cell_count;
   const std::size_t extra = config.total_users % config.cell_count;
@@ -73,51 +135,56 @@ std::size_t SimulationFleet::shard_cell(std::size_t i) const {
   return shards_[i].cell;
 }
 
-FleetReport SimulationFleet::run_interval() {
+FleetReport SimulationFleet::run_interval(ReportSink* sink) {
   FleetReport report;
   report.interval = interval_;
   report.cell_count = config_.cell_count;
-  report.shards.resize(shards_.size());
-  std::vector<util::RunningStats> group_err(shards_.size());
+  std::vector<ShardAccumulator> accumulators(shards_.size());
+  if (sink != nullptr) {
+    for (auto& acc : accumulators) {
+      acc.enable_buffering();
+    }
+  }
 
-  // Parallel phase: each worker owns a disjoint shard range, writes only
-  // its shards' slots, and any parallel_for a shard's pipeline issues runs
-  // inline on that worker (the pool is reentrancy-safe but not nested-
-  // parallel). No cross-shard state is touched.
+  // Parallel phase: each worker owns a disjoint shard range, streams its
+  // shards' reports into their private accumulators, and any parallel_for a
+  // shard's pipeline issues runs inline on that worker (the pool is
+  // reentrancy-safe but not nested-parallel). No cross-shard state is
+  // touched; nothing is materialized beyond the per-shard scalars.
   util::parallel_for(0, shards_.size(), 1,
                      [&](std::size_t lo, std::size_t hi) {
                        for (std::size_t s = lo; s < hi; ++s) {
-                         report.shards[s] = shards_[s].sim->run_interval();
-                         for (const auto& g : report.shards[s].groups) {
-                           if (g.actual_radio_hz > 0.0) {
-                             group_err[s].add(
-                                 std::abs(g.predicted_radio_hz - g.actual_radio_hz) /
-                                 g.actual_radio_hz);
-                           }
-                         }
+                         shards_[s].sim->run_interval(accumulators[s]);
                        }
                      });
 
   // Aggregation walks shards in fixed index order — never completion
-  // order — so the report is independent of scheduling and thread count.
-  report.shard_cell.reserve(shards_.size());
+  // order — so the report (and any sink replay) is independent of
+  // scheduling and thread count.
+  report.shards.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const EpochReport& r = report.shards[s];
-    report.shard_cell.push_back(shards_[s].cell);
-    report.user_count += shards_[s].sim->config().user_count;
-    report.predicted_radio_hz_total += r.predicted_radio_hz_total;
-    report.actual_radio_hz_total += r.actual_radio_hz_total;
-    report.predicted_compute_total += r.predicted_compute_total;
-    report.actual_compute_total += r.actual_compute_total;
-    report.unicast_radio_hz_total += r.unicast_radio_hz_total;
-    if (r.grouped) {
+    ShardAccumulator& acc = accumulators[s];
+    acc.summary.cell = shards_[s].cell;
+    acc.summary.users = shards_[s].sim->config().user_count;
+    const ShardSummary& summary = acc.summary;
+    report.user_count += summary.users;
+    report.predicted_radio_hz_total += summary.predicted_radio_hz_total;
+    report.actual_radio_hz_total += summary.actual_radio_hz_total;
+    report.predicted_compute_total += summary.predicted_compute_total;
+    report.actual_compute_total += summary.actual_compute_total;
+    report.unicast_radio_hz_total += summary.unicast_radio_hz_total;
+    if (summary.grouped) {
       ++report.grouped_shards;
     }
-    if (r.has_prediction) {
-      report.shard_radio_error.add(r.radio_error);
-      report.shard_compute_error.add(r.compute_error);
+    if (summary.has_prediction) {
+      report.shard_radio_error.add(summary.radio_error);
+      report.shard_compute_error.add(summary.compute_error);
     }
-    report.group_radio_error.merge(group_err[s]);
+    report.group_radio_error.merge(acc.group_error);
+    if (sink != nullptr) {
+      acc.replay(*sink);
+    }
+    report.shards.push_back(summary);
   }
   if (report.actual_radio_hz_total > 0.0) {
     report.radio_error =
@@ -143,7 +210,7 @@ std::vector<FleetReport> SimulationFleet::run(std::size_t n) {
   return reports;
 }
 
-std::size_t SimulationFleet::churn(double fraction) {
+std::size_t SimulationFleet::churn(double fraction, ReportSink* sink) {
   DTMSV_EXPECTS(fraction >= 0.0 && fraction <= 1.0);
   if (shards_.size() < 2) {
     return 0;
@@ -180,6 +247,15 @@ std::size_t SimulationFleet::churn(double fraction) {
     shards_[a].sim->handover_user(slot_a, aff_b);
     shards_[b].sim->handover_user(slot_b, aff_a);
     handed_over += 2;
+    if (sink != nullptr) {
+      HandoverEvent event;
+      event.interval = interval_;
+      event.shard_a = a;
+      event.shard_b = b;
+      event.slot_a = slot_a;
+      event.slot_b = slot_b;
+      sink->on_handover(event);
+    }
   }
   return handed_over;
 }

@@ -4,6 +4,12 @@
 // construction), and runs the per-interval pipelines concurrently on the
 // util::parallel thread pool.
 //
+// Report plumbing is streaming: each shard's pipeline delivers its interval
+// through a per-shard ReportSink accumulator, so the fleet aggregates
+// without materializing per-shard EpochReport vectors. An optional caller
+// sink observes every shard's stream (and churn handovers), delivered in
+// fixed shard order after the parallel phase.
+//
 // Determinism: every shard consumes only its own forked streams, the pool
 // hands workers disjoint shard ranges, nested parallel_for calls issued by
 // a shard's numeric core run inline on that worker, and aggregation walks
@@ -33,6 +39,29 @@ struct FleetConfig {
   std::uint64_t seed = 42;
 };
 
+/// Validates a fleet configuration (cell_count > 0, at least one user per
+/// cell, valid per-cell base scheme), throwing util::PreconditionError on
+/// invalid values. Called by the SimulationFleet constructor.
+void validate(const FleetConfig& config);
+
+/// Compact per-shard slice of a fleet interval (the scalars the aggregate
+/// and the observability consumers need — not the full EpochReport).
+struct ShardSummary {
+  std::size_t cell = 0;   // owning cell of this shard
+  std::size_t users = 0;  // live users in the shard
+  bool grouped = false;
+  bool has_prediction = false;
+  std::size_t k = 0;
+  double silhouette = 0.0;
+  double predicted_radio_hz_total = 0.0;
+  double actual_radio_hz_total = 0.0;
+  double predicted_compute_total = 0.0;
+  double actual_compute_total = 0.0;
+  double unicast_radio_hz_total = 0.0;
+  double radio_error = 0.0;
+  double compute_error = 0.0;
+};
+
 /// One interval's outcome across every shard of the fleet. A "shard" is one
 /// Simulation instance: the initial cells, plus any surge shards added
 /// mid-run (a surge shard is co-located with an existing cell and its
@@ -42,8 +71,7 @@ struct FleetReport {
   std::size_t cell_count = 0;
   std::size_t user_count = 0;      // live users across all shards
   std::size_t grouped_shards = 0;  // shards past warm-up this interval
-  std::vector<EpochReport> shards;      // per-shard reports, fixed order
-  std::vector<std::size_t> shard_cell;  // owning cell of each shard
+  std::vector<ShardSummary> shards;  // per-shard summaries, fixed order
 
   double predicted_radio_hz_total = 0.0;
   double actual_radio_hz_total = 0.0;
@@ -70,8 +98,12 @@ class SimulationFleet {
   explicit SimulationFleet(const FleetConfig& config);
 
   /// Advances every shard one reservation interval (concurrently) and
-  /// returns the aggregated fleet report.
-  FleetReport run_interval();
+  /// returns the aggregated fleet report. When `sink` is non-null it
+  /// observes every shard's group/interval stream, replayed in fixed shard
+  /// order after the parallel phase (deterministic for any thread count);
+  /// interval reports arrive with empty `groups` per the ReportSink
+  /// contract.
+  FleetReport run_interval(ReportSink* sink = nullptr);
 
   /// Runs `n` intervals, returning all fleet reports.
   std::vector<FleetReport> run(std::size_t n);
@@ -85,9 +117,10 @@ class SimulationFleet {
   /// between random cell pairs. Each handover swaps the ground-truth
   /// affinities of one slot in each of two distinct shards and resets both
   /// slots' twins, walkers and channel state (each BS must re-learn its
-  /// newcomer). Returns the number of users handed over. Deterministic:
+  /// newcomer). Returns the number of users handed over; each swap is also
+  /// reported to `sink` (when non-null) via on_handover. Deterministic:
   /// pairing is drawn from the fleet's own stream on the calling thread.
-  std::size_t churn(double fraction);
+  std::size_t churn(double fraction, ReportSink* sink = nullptr);
 
   // --- observability ---
   const FleetConfig& config() const { return config_; }

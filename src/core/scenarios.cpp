@@ -69,7 +69,7 @@ ScenarioConfig make_scenario(ScenarioKind kind, std::size_t total_users,
   return cfg;
 }
 
-ScenarioResult run_scenario(const ScenarioConfig& config) {
+ScenarioResult run_scenario(const ScenarioConfig& config, ReportSink* sink) {
   DTMSV_EXPECTS(config.intervals > 0);
 
   FleetConfig fleet_config;
@@ -92,9 +92,9 @@ ScenarioResult run_scenario(const ScenarioConfig& config) {
       }
     }
     if (config.kind == ScenarioKind::kMobilityChurn && i > 0) {
-      result.handovers += fleet.churn(config.churn_fraction);
+      result.handovers += fleet.churn(config.churn_fraction, sink);
     }
-    result.reports.push_back(fleet.run_interval());
+    result.reports.push_back(fleet.run_interval(sink));
     result.peak_users = std::max(result.peak_users, fleet.user_count());
   }
 

@@ -76,7 +76,12 @@ struct ScenarioResult {
   double compute_accuracy = 0.0;
 };
 
-/// Runs the scenario start to finish on a fresh fleet.
-ScenarioResult run_scenario(const ScenarioConfig& config);
+/// Runs the scenario start to finish on a fresh fleet. When `sink` is
+/// non-null it observes the full report stream (per-group, per-shard
+/// interval, and churn handover events) in deterministic order while the
+/// scenario executes — consumers aggregate on the fly instead of walking
+/// `ScenarioResult::reports` afterwards.
+ScenarioResult run_scenario(const ScenarioConfig& config,
+                            ReportSink* sink = nullptr);
 
 }  // namespace dtmsv::core

@@ -1,58 +1,58 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <istream>
 #include <ostream>
 
-#include "clustering/metrics.hpp"
-#include "nn/serialize.hpp"
 #include "util/error.hpp"
 
 namespace dtmsv::core {
 
 namespace {
 
-std::unique_ptr<predict::EfficiencyPredictor> make_channel_predictor(
-    ChannelPredictorKind kind) {
-  switch (kind) {
-    case ChannelPredictorKind::kLastValue:
-      return std::make_unique<predict::LastValuePredictor>();
-    case ChannelPredictorKind::kEwma:
-      return std::make_unique<predict::EwmaPredictor>();
-    case ChannelPredictorKind::kLinearTrend:
-      return std::make_unique<predict::LinearTrendPredictor>();
-    case ChannelPredictorKind::kMean:
-      return std::make_unique<predict::MeanPredictor>();
-  }
-  throw util::PreconditionError("unknown ChannelPredictorKind");
-}
-
-std::unique_ptr<clustering::KSelector> make_baseline_selector(
-    const SchemeConfig& config) {
-  switch (config.k_mode) {
-    case KSelectionMode::kFixed:
-      return std::make_unique<clustering::FixedKSelector>(config.fixed_k);
-    case KSelectionMode::kElbow:
-      return std::make_unique<clustering::ElbowKSelector>(config.grouping.k_min,
-                                                          config.grouping.k_max);
-    case KSelectionMode::kRandom:
-      return std::make_unique<clustering::RandomKSelector>(config.grouping.k_min,
-                                                           config.grouping.k_max);
-    case KSelectionMode::kSilhouetteSweep:
-      return std::make_unique<clustering::SilhouetteSweepSelector>(
-          config.grouping.k_min, config.grouping.k_max);
-    case KSelectionMode::kDdqn:
-      return nullptr;  // handled by GroupConstructor
-  }
-  throw util::PreconditionError("unknown KSelectionMode");
+/// Monotonic seconds for the stage-timing breakdown.
+double wall_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
 
+void validate(const SchemeConfig& config) {
+  DTMSV_EXPECTS_MSG(config.user_count > 0, "SchemeConfig: user_count must be > 0");
+  DTMSV_EXPECTS_MSG(config.interval_s > 0.0, "SchemeConfig: interval_s must be > 0");
+  DTMSV_EXPECTS_MSG(config.tick_s > 0.0, "SchemeConfig: tick_s must be > 0");
+  DTMSV_EXPECTS_MSG(config.tick_s <= config.interval_s,
+                    "SchemeConfig: interval_s must be >= tick_s");
+  DTMSV_EXPECTS_MSG(config.feature_window_s > 0.0,
+                    "SchemeConfig: feature_window_s must be > 0");
+  DTMSV_EXPECTS_MSG(config.feature_timesteps >= 8,
+                    "SchemeConfig: feature_timesteps must be >= 8");
+  DTMSV_EXPECTS_MSG(config.swiping_bins >= 2,
+                    "SchemeConfig: swiping_bins must be >= 2");
+  DTMSV_EXPECTS_MSG(
+      config.swiping_forgetting > 0.0 && config.swiping_forgetting <= 1.0,
+      "SchemeConfig: swiping_forgetting must be in (0, 1]");
+  DTMSV_EXPECTS_MSG(
+      config.popularity_forgetting > 0.0 && config.popularity_forgetting <= 1.0,
+      "SchemeConfig: popularity_forgetting must be in (0, 1]");
+  DTMSV_EXPECTS_MSG(
+      config.affinity_drift_rate >= 0.0 && config.affinity_drift_rate <= 1.0,
+      "SchemeConfig: affinity_drift_rate must be in [0, 1]");
+  DTMSV_EXPECTS_MSG(config.grouping.k_min >= 1,
+                    "SchemeConfig: grouping.k_min must be >= 1");
+  DTMSV_EXPECTS_MSG(config.grouping.k_min <= config.grouping.k_max,
+                    "SchemeConfig: grouping.k_min must be <= k_max");
+  DTMSV_EXPECTS_MSG(config.demand.interval_s > 0.0,
+                    "SchemeConfig: demand.interval_s must be > 0");
+}
+
 Simulation::Simulation(const SchemeConfig& config)
     : config_(config),
-      rng_(config.seed),
+      rng_((validate(config), config.seed)),
       campus_(mobility::CampusMap::waterloo_campus()),
       catalog_(video::Catalog::generate(config.session.engagement.catalog, rng_)),
       content_(predict::ContentStats::from_catalog(catalog_)),
@@ -62,13 +62,6 @@ Simulation::Simulation(const SchemeConfig& config)
       cluster_rng_(0),
       drift_rng_(0),
       handover_rng_(0) {
-  DTMSV_EXPECTS(config.user_count > 0);
-  DTMSV_EXPECTS(config.interval_s > 0.0);
-  DTMSV_EXPECTS(config.tick_s > 0.0 && config.tick_s <= config.interval_s);
-  DTMSV_EXPECTS(config.feature_window_s > 0.0);
-  DTMSV_EXPECTS(config.feature_timesteps >= 8);
-  DTMSV_EXPECTS(config.swiping_bins >= 2);
-
   util::Rng fork_source = rng_.fork(1);
   mobility_ = std::make_unique<mobility::MobilityField>(
       campus_, config.mobility, config.user_count, fork_source);
@@ -93,19 +86,13 @@ Simulation::Simulation(const SchemeConfig& config)
                                   session_rng.fork(u));
   }
 
-  if (config.feature_mode == FeatureMode::kCnnEmbedding) {
-    CompressorConfig cc = config.compressor;
-    cc.channels = twin::UserDigitalTwin::kFeatureChannels;
-    cc.timesteps = config.feature_timesteps;
-    compressor_ = std::make_unique<FeatureCompressor>(cc, rng_.fork(6).next());
-  }
-  if (config.k_mode == KSelectionMode::kDdqn) {
-    constructor_ =
-        std::make_unique<GroupConstructor>(config.grouping, rng_.fork(7).next());
-  } else {
-    baseline_selector_ = make_baseline_selector(config);
-  }
-  channel_predictor_ = make_channel_predictor(config.channel_predictor);
+  // Stage construction order is part of the reproducible RNG schedule: the
+  // feature stage may draw from rng_.fork(6), the grouping stage from
+  // rng_.fork(7) (see StageRegistry docs).
+  const StageRegistry& registry = StageRegistry::instance();
+  feature_stage_ = registry.make_feature(feature_stage_key(config_), config_, rng_);
+  grouping_stage_ = registry.make_grouping(grouping_stage_key(config_), config_, rng_);
+  demand_stage_ = registry.make_demand(demand_stage_key(config_), config_, rng_);
   playback_rng_ = rng_.fork(8);
   cluster_rng_ = rng_.fork(9);
   drift_rng_ = rng_.fork(10);
@@ -118,28 +105,49 @@ const twin::CollectorStats& Simulation::collector_stats() const {
   return collector_->stats();
 }
 
+namespace {
+
+[[noreturn]] void throw_group_out_of_range(const char* accessor, std::size_t g,
+                                           std::size_t count) {
+  throw util::RuntimeError(std::string(accessor) + ": group index " +
+                           std::to_string(g) + " out of range (" +
+                           std::to_string(count) + " active groups)");
+}
+
+}  // namespace
+
 const std::vector<std::size_t>& Simulation::group_members(std::size_t g) const {
-  DTMSV_EXPECTS(g < groups_.size());
+  if (g >= groups_.size()) {
+    throw_group_out_of_range("group_members", g, groups_.size());
+  }
   return groups_[g].members;
 }
 
 const analysis::SwipingDistribution& Simulation::group_swiping(std::size_t g) const {
-  DTMSV_EXPECTS(g < groups_.size());
+  if (g >= groups_.size()) {
+    throw_group_out_of_range("group_swiping", g, groups_.size());
+  }
   return groups_[g].swiping;
 }
 
 const behavior::PreferenceVector& Simulation::group_preference(std::size_t g) const {
-  DTMSV_EXPECTS(g < groups_.size());
+  if (g >= groups_.size()) {
+    throw_group_out_of_range("group_preference", g, groups_.size());
+  }
   return groups_[g].preference;
 }
 
 const analysis::Recommendation& Simulation::group_recommendation(std::size_t g) const {
-  DTMSV_EXPECTS(g < groups_.size());
+  if (g >= groups_.size()) {
+    throw_group_out_of_range("group_recommendation", g, groups_.size());
+  }
   return groups_[g].recommendation;
 }
 
 std::size_t Simulation::most_preferring_group(video::Category category) const {
-  DTMSV_EXPECTS_MSG(!groups_.empty(), "no active multicast groups");
+  if (groups_.empty()) {
+    throw util::RuntimeError("most_preferring_group: no active multicast groups");
+  }
   std::size_t best = 0;
   double best_weight = -1.0;
   for (std::size_t g = 0; g < groups_.size(); ++g) {
@@ -340,64 +348,21 @@ behavior::PreferenceVector Simulation::handover_user(
   return outgoing;
 }
 
-clustering::Points Simulation::build_features(float* reconstruction_loss) {
-  const twin::FeatureScaling scaling{campus_.width(), campus_.height(), 10.0, 40.0};
-  *reconstruction_loss = 0.0f;
-
-  switch (config_.feature_mode) {
-    case FeatureMode::kCnnEmbedding: {
-      const auto windows = twins_->all_feature_windows(
-          now_, config_.feature_window_s, config_.feature_timesteps, scaling);
-      *reconstruction_loss = compressor_->fit(windows);
-      return compressor_->embed(windows);
-    }
-    case FeatureMode::kRawWindow: {
-      const auto windows = twins_->all_feature_windows(
-          now_, config_.feature_window_s, config_.feature_timesteps, scaling);
-      if (windows.empty()) {
-        return {};
-      }
-      clustering::Points points(windows.size(), windows.front().size());
-      double* rows = points.data();
-      for (const auto& w : windows) {
-        for (const float v : w) {
-          *rows++ = static_cast<double>(v);
-        }
-      }
-      return points;
-    }
-    case FeatureMode::kSummaryStats:
-      return clustering::Points(
-          twins_->all_summary_features(now_, config_.feature_window_s, scaling));
-  }
-  throw util::PreconditionError("unknown FeatureMode");
-}
-
-void Simulation::rebuild_groups(const clustering::Points& points, EpochReport& report) {
-  std::size_t k = 0;
-  std::vector<std::size_t> assignment;
-  if (config_.k_mode == KSelectionMode::kDdqn) {
-    const auto decision = constructor_->construct(points, cluster_rng_);
-    k = decision.k;
-    assignment = decision.assignment;
-    report.silhouette = decision.silhouette;
-    report.ddqn_epsilon = decision.epsilon;
-  } else {
-    k = baseline_selector_->select_k(points, cluster_rng_);
-    k = std::clamp<std::size_t>(k, 1, points.size());
-    const auto result = clustering::k_means(points, k, cluster_rng_,
-                                            config_.grouping.kmeans);
-    assignment = result.assignment;
-    report.silhouette = clustering::silhouette_sampled(
-        points, assignment, config_.grouping.silhouette_sample_cap, cluster_rng_);
-  }
-  report.k = k;
+void Simulation::rebuild_groups(const clustering::Points& points,
+                                EpochReport& report) {
+  const double t_group0 = wall_s();
+  GroupingOutcome grouping = grouping_stage_->group(points, cluster_rng_);
+  report.k = grouping.k;
+  report.silhouette = grouping.silhouette;
+  report.ddqn_epsilon = grouping.epsilon;
+  const double t_group1 = wall_s();
+  timings_.grouping_s += t_group1 - t_group0;
 
   groups_.clear();
-  for (std::size_t g = 0; g < k; ++g) {
+  for (std::size_t g = 0; g < grouping.k; ++g) {
     Group group(config_.swiping_bins, config_.swiping_forgetting);
-    for (std::size_t u = 0; u < assignment.size(); ++u) {
-      if (assignment[u] == g) {
+    for (std::size_t u = 0; u < grouping.assignment.size(); ++u) {
+      if (grouping.assignment[u] == g) {
         group.members.push_back(u);
       }
     }
@@ -418,21 +383,17 @@ void Simulation::rebuild_groups(const clustering::Points& points, EpochReport& r
     group.recommendation =
         analysis::recommend(catalog_, popularity_, group.preference,
                             config_.recommender);
-    predict::GroupChannelForecast channel_forecast;
-    if (config_.joint_group_efficiency) {
-      channel_forecast = predict::forecast_group_channel(
-          member_twins, now_, config_.feature_window_s,
-          config_.demand.efficiency_floor);
-    } else {
-      channel_forecast.efficiency = predict::predict_group_efficiency(
-          member_twins, *channel_predictor_, now_, config_.feature_window_s,
-          config_.demand.efficiency_floor);
-      channel_forecast.min_series = {channel_forecast.efficiency};
-    }
-    group.predicted_efficiency = channel_forecast.efficiency;
-    group.predicted = predict::predict_group_demand(
-        group.members.size(), group.preference, group.swiping, channel_forecast,
-        group.recommendation.per_category_counts, content_, config_.demand);
+
+    GroupDemandContext context;
+    context.members = &member_twins;
+    context.preference = &group.preference;
+    context.swiping = &group.swiping;
+    context.playlist_per_category = &group.recommendation.per_category_counts;
+    context.content = &content_;
+    context.now = now_;
+    const GroupDemandForecast forecast = demand_stage_->predict(context);
+    group.predicted_efficiency = forecast.efficiency;
+    group.predicted = forecast.demand;
     if (config_.online_bias_correction) {
       if (radio_bias_.has_value()) {
         const double f = std::clamp(radio_bias_.value(), 0.7, 1.3);
@@ -446,9 +407,10 @@ void Simulation::rebuild_groups(const clustering::Points& points, EpochReport& r
     }
     groups_.push_back(std::move(group));
   }
+  timings_.demand_s += wall_s() - t_group1;
 }
 
-EpochReport Simulation::run_interval() {
+EpochReport Simulation::run_interval_impl(ReportSink* sink) {
   EpochReport report;
   report.interval = interval_;
   report.grouped = !groups_.empty();
@@ -459,6 +421,7 @@ EpochReport Simulation::run_interval() {
   // each tick's endpoints are computed from the index instead and the
   // interval lands exactly on its nominal boundary. When tick_s does not
   // divide interval_s the final tick is truncated to the boundary.
+  const double t_sim0 = wall_s();
   const util::SimTime interval_start = now_;
   const util::SimTime interval_end =
       static_cast<double>(interval_ + 1) * config_.interval_s;
@@ -475,6 +438,7 @@ EpochReport Simulation::run_interval() {
     events.clear();
     tick(events, t0, t1);
   }
+  timings_.simulate_s += wall_s() - t_sim0;
 
   // Score the predictions made at the start of this interval.
   if (report.grouped) {
@@ -494,13 +458,17 @@ EpochReport Simulation::run_interval() {
       gr.actual_compute_cycles = grp.compute_cycles;
       gr.unicast_radio_hz = grp.unicast_hz_seconds / config_.interval_s;
       gr.videos_played = grp.videos_played;
-      report.groups.push_back(gr);
 
       report.predicted_radio_hz_total += gr.predicted_radio_hz;
       report.actual_radio_hz_total += gr.actual_radio_hz;
       report.predicted_compute_total += gr.predicted_compute_cycles;
       report.actual_compute_total += gr.actual_compute_cycles;
       report.unicast_radio_hz_total += gr.unicast_radio_hz;
+      if (sink != nullptr) {
+        sink->on_group(gr, report.interval);
+      } else {
+        report.groups.push_back(gr);
+      }
     }
     if (report.actual_radio_hz_total > 0.0) {
       report.radio_error =
@@ -512,9 +480,8 @@ EpochReport Simulation::run_interval() {
           std::abs(report.predicted_compute_total - report.actual_compute_total) /
           report.actual_compute_total;
     }
-    if (constructor_) {
-      constructor_->report_outcome(report.radio_error);
-    }
+    // Delayed reward for learning grouping stages (no-op otherwise).
+    grouping_stage_->report_outcome(report.radio_error);
     // Online residual calibration: remember how far off this interval's
     // forecast was so the next one can be rescaled.
     if (config_.online_bias_correction) {
@@ -538,49 +505,63 @@ EpochReport Simulation::run_interval() {
 
   // Re-cluster and predict for the next interval once warm-up is over.
   if (interval_ + 1 >= static_cast<util::IntervalId>(config_.warmup_intervals)) {
-    float rec_loss = 0.0f;
-    const clustering::Points points = build_features(&rec_loss);
-    report.reconstruction_loss = rec_loss;
-    rebuild_groups(points, report);
+    const double t_feat0 = wall_s();
+    TwinSnapshot snapshot;
+    snapshot.twins = twins_.get();
+    snapshot.now = now_;
+    snapshot.window_s = config_.feature_window_s;
+    snapshot.timesteps = config_.feature_timesteps;
+    snapshot.scaling =
+        twin::FeatureScaling{campus_.width(), campus_.height(), 10.0, 40.0};
+    FeatureOutput features = feature_stage_->extract(snapshot);
+    report.reconstruction_loss = features.reconstruction_loss;
+    timings_.feature_s += wall_s() - t_feat0;
+    rebuild_groups(features.points, report);
   }
 
   ++interval_;
+  ++timings_.intervals;
+  if (sink != nullptr) {
+    sink->on_interval(report);
+  }
   return report;
 }
 
+EpochReport Simulation::run_interval() { return run_interval_impl(nullptr); }
+
+void Simulation::run_interval(ReportSink& sink) { run_interval_impl(&sink); }
+
 void Simulation::save_models(std::ostream& os) const {
-  DTMSV_EXPECTS_MSG(compressor_ != nullptr || constructor_ != nullptr,
+  const bool feature = feature_stage_->has_learned_state();
+  const bool grouping = grouping_stage_->has_learned_state();
+  DTMSV_EXPECTS_MSG(feature || grouping,
                     "save_models: no learned models in this configuration");
-  os << (compressor_ ? 1 : 0) << ' ' << (constructor_ ? 1 : 0) << '\n';
-  if (compressor_) {
-    nn::save_parameters(compressor_->encoder(), os);
-    nn::save_parameters(compressor_->decoder(), os);
+  os << (feature ? 1 : 0) << ' ' << (grouping ? 1 : 0) << '\n';
+  if (feature) {
+    feature_stage_->save_state(os);
   }
-  if (constructor_) {
-    nn::save_parameters(constructor_->agent().online_network(), os);
+  if (grouping) {
+    grouping_stage_->save_state(os);
   }
 }
 
 void Simulation::load_models(std::istream& is) {
-  int has_compressor = 0;
-  int has_constructor = 0;
-  is >> has_compressor >> has_constructor;
+  int has_feature = 0;
+  int has_grouping = 0;
+  is >> has_feature >> has_grouping;
   if (!is) {
     throw util::RuntimeError("load_models: malformed header");
   }
-  if ((has_compressor != 0) != (compressor_ != nullptr) ||
-      (has_constructor != 0) != (constructor_ != nullptr)) {
+  if ((has_feature != 0) != feature_stage_->has_learned_state() ||
+      (has_grouping != 0) != grouping_stage_->has_learned_state()) {
     throw util::RuntimeError(
         "load_models: saved models do not match this configuration");
   }
-  if (compressor_) {
-    nn::load_parameters(compressor_->encoder(), is);
-    nn::load_parameters(compressor_->decoder(), is);
+  if (has_feature != 0) {
+    feature_stage_->load_state(is);
   }
-  if (constructor_) {
-    nn::load_parameters(constructor_->agent().online_network(), is);
-    nn::copy_parameters(constructor_->agent().online_network(),
-                        constructor_->agent().target_network());
+  if (has_grouping != 0) {
+    grouping_stage_->load_state(is);
   }
 }
 
@@ -591,6 +572,12 @@ std::vector<EpochReport> Simulation::run(std::size_t n) {
     reports.push_back(run_interval());
   }
   return reports;
+}
+
+void Simulation::run(std::size_t n, ReportSink& sink) {
+  for (std::size_t i = 0; i < n; ++i) {
+    run_interval(sink);
+  }
 }
 
 }  // namespace dtmsv::core

@@ -4,31 +4,32 @@
 //   tick loop (1 s): mobility -> channel -> viewing (individual sessions
 //     during warm-up, group-feed multicast playback after) -> UDT collection
 //   interval end:    realized demand vs. the prediction made one interval
-//     earlier -> 1D-CNN compression of UDT windows -> DDQN+K-means++
-//     grouping -> per-group swiping distribution, preference aggregation,
-//     recommendation -> radio & computing demand prediction for the next
-//     interval.
+//     earlier -> FeatureStage (1D-CNN compression of UDT windows) ->
+//     GroupingStage (DDQN+K-means++) -> per-group swiping distribution,
+//     preference aggregation, recommendation -> DemandStage (radio &
+//     computing demand prediction for the next interval).
 //
-// Ground truth and prediction share the same structural model but diverge
-// through what the twin actually observed (collection loss/latency/windows)
-// versus what the users actually did — the gap the paper's accuracy
-// number measures.
+// The three stages are pluggable through core/pipeline.hpp's StageRegistry;
+// the defaults reproduce the paper. Ground truth and prediction share the
+// same structural model but diverge through what the twin actually observed
+// (collection loss/latency/windows) versus what the users actually did —
+// the gap the paper's accuracy number measures.
 #pragma once
 
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "analysis/popularity.hpp"
 #include "analysis/recommend.hpp"
 #include "analysis/swiping.hpp"
 #include "behavior/session.hpp"
-#include "clustering/selectors.hpp"
 #include "core/feature_compressor.hpp"
 #include "core/group_constructor.hpp"
+#include "core/pipeline.hpp"
 #include "mobility/random_waypoint.hpp"
-#include "predict/channel_predictor.hpp"
 #include "predict/demand.hpp"
 #include "twin/collector.hpp"
 #include "twin/store.hpp"
@@ -38,23 +39,28 @@
 
 namespace dtmsv::core {
 
-/// How per-user features for clustering are produced (ablation ABL-CMP).
+/// Deprecated alias for the FeatureStage registry key (ablation ABL-CMP).
+/// Prefer SchemeConfig::feature_stage = "cnn" | "raw" | "summary".
 enum class FeatureMode {
-  kCnnEmbedding,  // paper: 1D-CNN autoencoder bottleneck
-  kRawWindow,     // flattened raw window, no compression
-  kSummaryStats,  // hand-rolled summary statistics
+  kCnnEmbedding,  // paper: 1D-CNN autoencoder bottleneck ("cnn")
+  kRawWindow,     // flattened raw window, no compression ("raw")
+  kSummaryStats,  // hand-rolled summary statistics ("summary")
 };
 
-/// How the grouping number K is chosen (ablation ABL-CLU).
+/// Deprecated alias for the GroupingStage registry key (ablation ABL-CLU).
+/// Prefer SchemeConfig::grouping_stage = "ddqn" | "fixed" | "elbow" |
+/// "random" | "silhouette".
 enum class KSelectionMode {
-  kDdqn,             // paper: DDQN-empowered
-  kFixed,            // fixed K
-  kElbow,            // elbow heuristic sweep
-  kRandom,           // random K
-  kSilhouetteSweep,  // slow silhouette oracle
+  kDdqn,             // paper: DDQN-empowered ("ddqn")
+  kFixed,            // fixed K ("fixed")
+  kElbow,            // elbow heuristic sweep ("elbow")
+  kRandom,           // random K ("random")
+  kSilhouetteSweep,  // slow silhouette oracle ("silhouette")
 };
 
-/// Which per-user channel predictor feeds group efficiency forecasts.
+/// Deprecated alias for the per-member DemandStage registry keys. Prefer
+/// SchemeConfig::demand_stage = "joint" | "last_value" | "ewma" |
+/// "linear_trend" | "mean".
 enum class ChannelPredictorKind { kLastValue, kEwma, kLinearTrend, kMean };
 
 /// Full scheme configuration (defaults reproduce the paper's setup).
@@ -87,14 +93,24 @@ struct SchemeConfig {
   /// preference tracking under non-stationary behaviour.
   double affinity_drift_rate = 0.0;
 
+  /// StageRegistry keys selecting the pipeline backends. Empty (default)
+  /// resolves through the deprecated enum aliases below, which reproduce
+  /// the paper ("cnn" + "ddqn" + "joint"). See core/pipeline.hpp.
+  std::string feature_stage;
+  std::string grouping_stage;
+  std::string demand_stage;
+
+  /// Deprecated enum aliases (kept so existing configurations keep
+  /// compiling); ignored whenever the corresponding *_stage key is set.
   FeatureMode feature_mode = FeatureMode::kCnnEmbedding;
   KSelectionMode k_mode = KSelectionMode::kDdqn;
   std::size_t fixed_k = 4;
   ChannelPredictorKind channel_predictor = ChannelPredictorKind::kEwma;
-  /// Forecast group efficiency from the joint min-over-members series
-  /// (harmonic mean; unbiased for the multicast accounting). When false,
-  /// falls back to min over per-member forecasts (optimistically biased —
-  /// kept for the ablation bench).
+  /// Deprecated alias: when no demand_stage key is set, `true` resolves to
+  /// the "joint" stage (min-over-members series, harmonic mean — unbiased
+  /// for the multicast accounting) and `false` to the per-member predictor
+  /// stage named by `channel_predictor` (optimistically biased — kept for
+  /// the ablation bench).
   bool joint_group_efficiency = true;
   /// Online residual calibration: the digital twin feeds the realized
   /// actual/predicted ratio back into the next interval's forecast (EWMA,
@@ -104,43 +120,11 @@ struct SchemeConfig {
   bool online_bias_correction = true;
 };
 
-/// Per-group slice of an interval report.
-struct GroupReport {
-  std::size_t group_id = 0;
-  std::size_t size = 0;
-  std::size_t rung = 0;
-  double predicted_efficiency = 0.0;
-  double realized_efficiency = 0.0;
-  double predicted_radio_hz = 0.0;
-  double actual_radio_hz = 0.0;
-  double predicted_compute_cycles = 0.0;
-  double actual_compute_cycles = 0.0;
-  /// Counterfactual: bandwidth the same viewing would have cost had every
-  /// member received a private unicast stream at their own link adaptation
-  /// (the paper's motivation for multicast).
-  double unicast_radio_hz = 0.0;
-  std::size_t videos_played = 0;
-};
-
-/// One interval's outcome.
-struct EpochReport {
-  util::IntervalId interval = 0;
-  bool grouped = false;           // groups were active during this interval
-  bool has_prediction = false;    // predictions existed for this interval
-  std::size_t k = 0;              // grouping chosen *for the next* interval
-  double silhouette = 0.0;
-  double ddqn_epsilon = 0.0;
-  double reconstruction_loss = 0.0;
-  std::vector<GroupReport> groups;
-  double predicted_radio_hz_total = 0.0;
-  double actual_radio_hz_total = 0.0;
-  double predicted_compute_total = 0.0;
-  double actual_compute_total = 0.0;
-  double unicast_radio_hz_total = 0.0;
-  /// |pred − actual| / actual on the radio total (0 when undefined).
-  double radio_error = 0.0;
-  double compute_error = 0.0;
-};
+/// Validates a scheme configuration, throwing util::PreconditionError with
+/// the offending field on invalid values (zero users, non-positive tick_s,
+/// interval_s < tick_s, degenerate windows, bad forgetting factors, ...).
+/// Called by the Simulation constructor; exposed for config-building tools.
+void validate(const SchemeConfig& config);
 
 /// The full scheme + environment.
 class Simulation {
@@ -151,11 +135,20 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  /// Advances one reservation interval and returns its report.
+  /// Advances one reservation interval and returns its report (per-group
+  /// reports included in EpochReport::groups).
   EpochReport run_interval();
+
+  /// Streaming variant: advances one interval, delivering per-group reports
+  /// through sink.on_group and the interval report (with empty `groups`)
+  /// through sink.on_interval. Nothing is accumulated.
+  void run_interval(ReportSink& sink);
 
   /// Runs `n` intervals, returning all reports.
   std::vector<EpochReport> run(std::size_t n);
+
+  /// Runs `n` intervals streaming into `sink`.
+  void run(std::size_t n, ReportSink& sink);
 
   /// Hands the user slot over to a newcomer (inter-cell handover in a
   /// multi-cell fleet): the slot's ground-truth affinity becomes
@@ -178,7 +171,19 @@ class Simulation {
   const twin::TwinStore& twins() const { return *twins_; }
   const twin::CollectorStats& collector_stats() const;
 
+  /// The active pipeline stages (names, learned-state queries).
+  const FeatureStage& feature_stage() const { return *feature_stage_; }
+  const GroupingStage& grouping_stage() const { return *grouping_stage_; }
+  const DemandStage& demand_stage() const { return *demand_stage_; }
+
+  /// Cumulative wall-time breakdown of the interval loop since construction
+  /// (or the last reset), attributing cost to simulate vs. stages.
+  const StageTimings& stage_timings() const { return timings_; }
+  void reset_stage_timings() { timings_ = StageTimings{}; }
+
   std::size_t group_count() const { return groups_.size(); }
+  /// Group observability accessors. All throw util::RuntimeError when the
+  /// index is out of range (including when no groups are active yet).
   const std::vector<std::size_t>& group_members(std::size_t g) const;
   const analysis::SwipingDistribution& group_swiping(std::size_t g) const;
   const behavior::PreferenceVector& group_preference(std::size_t g) const;
@@ -186,7 +191,8 @@ class Simulation {
 
   /// Index of the active group with the highest preference weight for the
   /// given category (the paper reports "multicast group 1", its most
-  /// News-leaning group). Requires group_count() > 0.
+  /// News-leaning group). Throws util::RuntimeError when no groups are
+  /// active.
   std::size_t most_preferring_group(video::Category category) const;
 
   /// Ground-truth user affinities (for clustering-quality evaluation).
@@ -194,13 +200,13 @@ class Simulation {
     return affinities_;
   }
 
-  /// Persists the learned models (1D-CNN encoder+decoder and, when the
-  /// DDQN selector is active, its online Q-network) so a trained scheme can
-  /// be redeployed without retraining. Models must exist for the current
-  /// configuration (CNN feature mode and/or DDQN K mode).
+  /// Persists the learned models (the stages' learned state: 1D-CNN
+  /// encoder+decoder and, when the DDQN grouping stage is active, its
+  /// online Q-network) so a trained scheme can be redeployed without
+  /// retraining. At least one active stage must have learned state.
   void save_models(std::ostream& os) const;
-  /// Loads models saved by save_models into a simulation with the same
-  /// feature/K configuration; throws util::RuntimeError on layout mismatch.
+  /// Loads models saved by save_models into a simulation whose stages have
+  /// the same learned-state layout; throws util::RuntimeError on mismatch.
   void load_models(std::istream& is);
 
  private:
@@ -235,6 +241,7 @@ class Simulation {
         : swiping(swiping_bins, swiping_forgetting) {}
   };
 
+  EpochReport run_interval_impl(ReportSink* sink);
   void tick(std::vector<behavior::ViewEvent>& events, util::SimTime t0,
             util::SimTime t1);
   void drift_affinities();
@@ -242,7 +249,6 @@ class Simulation {
   void start_group_video(Group& g, util::SimTime at);
   void advance_group(Group& g, util::SimTime from, double dt,
                      std::vector<behavior::ViewEvent>& events);
-  clustering::Points build_features(float* reconstruction_loss);
   void rebuild_groups(const clustering::Points& points, EpochReport& report);
 
   SchemeConfig config_;
@@ -259,16 +265,16 @@ class Simulation {
   std::vector<behavior::ViewingSession> warmup_sessions_;
   analysis::PopularityAnalyzer popularity_;
 
-  std::unique_ptr<FeatureCompressor> compressor_;
-  std::unique_ptr<GroupConstructor> constructor_;
-  std::unique_ptr<clustering::KSelector> baseline_selector_;
-  std::unique_ptr<predict::EfficiencyPredictor> channel_predictor_;
+  std::unique_ptr<FeatureStage> feature_stage_;
+  std::unique_ptr<GroupingStage> grouping_stage_;
+  std::unique_ptr<DemandStage> demand_stage_;
   wireless::MulticastPhy phy_;
 
   std::vector<Group> groups_;
   util::SimTime now_ = 0.0;
   util::IntervalId interval_ = 0;
   std::size_t tick_count_ = 0;
+  StageTimings timings_;
   util::Rng playback_rng_;
   util::Rng cluster_rng_;
   util::Rng drift_rng_;     // taste drift; never perturbs the playback stream

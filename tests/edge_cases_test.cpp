@@ -13,6 +13,7 @@
 #include "behavior/session.hpp"
 #include "clustering/kmeans.hpp"
 #include "core/feature_compressor.hpp"
+#include "core/fleet.hpp"
 #include "core/group_constructor.hpp"
 #include "core/simulation.hpp"
 #include "nn/activations.hpp"
@@ -337,6 +338,130 @@ TEST(GroupPlaybackCorners, SubPointTwoSecondClipsPlayCleanly) {
       EXPECT_GT(g.videos_played, 10u);
     }
   }
+}
+
+// ------------------------------------------- group accessor bounds guards
+
+/// Shared fixture state: one tiny simulation before grouping (no groups
+/// yet) and one after (some groups active).
+core::SchemeConfig tiny_sim_config(std::uint64_t seed) {
+  core::SchemeConfig cfg;
+  cfg.seed = seed;
+  cfg.user_count = 10;
+  cfg.interval_s = 20.0;
+  cfg.warmup_intervals = 1;
+  cfg.feature_window_s = 40.0;
+  cfg.feature_timesteps = 8;
+  cfg.session.engagement.catalog.videos_per_category = 10;
+  cfg.compressor.epochs_per_fit = 1;
+  cfg.grouping.k_min = 2;
+  cfg.grouping.k_max = 3;
+  cfg.grouping.ddqn.hidden = {8};
+  cfg.grouping.kmeans.restarts = 1;
+  cfg.demand.interval_s = cfg.interval_s;
+  cfg.recommender.playlist_size = 8;
+  return cfg;
+}
+
+TEST(GroupAccessorBounds, GroupMembersOutOfRangeThrows) {
+  core::Simulation fresh(tiny_sim_config(71));
+  EXPECT_THROW(fresh.group_members(0), util::RuntimeError);  // no groups yet
+  core::Simulation sim(tiny_sim_config(71));
+  sim.run(2);
+  ASSERT_GT(sim.group_count(), 0u);
+  EXPECT_NO_THROW(sim.group_members(sim.group_count() - 1));
+  EXPECT_THROW(sim.group_members(sim.group_count()), util::RuntimeError);
+}
+
+TEST(GroupAccessorBounds, GroupSwipingOutOfRangeThrows) {
+  core::Simulation sim(tiny_sim_config(72));
+  EXPECT_THROW(sim.group_swiping(0), util::RuntimeError);
+  sim.run(2);
+  EXPECT_THROW(sim.group_swiping(sim.group_count()), util::RuntimeError);
+}
+
+TEST(GroupAccessorBounds, GroupPreferenceOutOfRangeThrows) {
+  core::Simulation sim(tiny_sim_config(73));
+  EXPECT_THROW(sim.group_preference(0), util::RuntimeError);
+  sim.run(2);
+  EXPECT_THROW(sim.group_preference(sim.group_count()), util::RuntimeError);
+}
+
+TEST(GroupAccessorBounds, GroupRecommendationOutOfRangeThrows) {
+  core::Simulation sim(tiny_sim_config(74));
+  EXPECT_THROW(sim.group_recommendation(0), util::RuntimeError);
+  sim.run(2);
+  EXPECT_THROW(sim.group_recommendation(sim.group_count()), util::RuntimeError);
+}
+
+TEST(GroupAccessorBounds, MostPreferringGroupWithoutGroupsThrows) {
+  core::Simulation sim(tiny_sim_config(75));
+  EXPECT_THROW(sim.most_preferring_group(video::Category::kNews),
+               util::RuntimeError);
+  sim.run(2);
+  EXPECT_NO_THROW(sim.most_preferring_group(video::Category::kNews));
+}
+
+// --------------------------------------------- configuration validation
+
+TEST(ConfigValidation, SchemeConfigRejectsDegenerateValues) {
+  const core::SchemeConfig good = tiny_sim_config(76);
+  EXPECT_NO_THROW(core::validate(good));
+
+  core::SchemeConfig cfg = good;
+  cfg.user_count = 0;
+  EXPECT_THROW(core::Simulation{cfg}, PreconditionError);
+
+  cfg = good;
+  cfg.tick_s = 0.0;  // would otherwise divide by zero in the tick schedule
+  EXPECT_THROW(core::Simulation{cfg}, PreconditionError);
+
+  cfg = good;
+  cfg.tick_s = -1.0;
+  EXPECT_THROW(core::Simulation{cfg}, PreconditionError);
+
+  cfg = good;
+  cfg.interval_s = 0.5 * cfg.tick_s;  // interval shorter than one tick
+  EXPECT_THROW(core::Simulation{cfg}, PreconditionError);
+
+  cfg = good;
+  cfg.interval_s = 0.0;
+  EXPECT_THROW(core::Simulation{cfg}, PreconditionError);
+
+  cfg = good;
+  cfg.feature_window_s = 0.0;
+  EXPECT_THROW(core::Simulation{cfg}, PreconditionError);
+
+  cfg = good;
+  cfg.grouping.k_min = 5;
+  cfg.grouping.k_max = 3;
+  EXPECT_THROW(core::Simulation{cfg}, PreconditionError);
+
+  cfg = good;
+  cfg.popularity_forgetting = 0.0;
+  EXPECT_THROW(core::Simulation{cfg}, PreconditionError);
+}
+
+TEST(ConfigValidation, FleetConfigRejectsDegenerateValues) {
+  core::FleetConfig good;
+  good.base = tiny_sim_config(77);
+  good.cell_count = 2;
+  good.total_users = 8;
+  EXPECT_NO_THROW(core::validate(good));
+
+  core::FleetConfig cfg = good;
+  cfg.cell_count = 0;
+  EXPECT_THROW(core::SimulationFleet{cfg}, PreconditionError);
+
+  cfg = good;
+  cfg.total_users = cfg.cell_count - 1;  // a cell would get zero users
+  EXPECT_THROW(core::SimulationFleet{cfg}, PreconditionError);
+
+  // The per-cell base scheme is validated up front too — a zero tick_s
+  // must throw at fleet construction, not hang inside the first interval.
+  cfg = good;
+  cfg.base.tick_s = 0.0;
+  EXPECT_THROW(core::SimulationFleet{cfg}, PreconditionError);
 }
 
 // --------------------------------------------------------- session corners

@@ -65,7 +65,7 @@ TEST(Scenarios, FlashCrowdGrowsThePopulation) {
   // From the surge interval on: the crowd is present, attached to its cell.
   const auto& surged = result.reports[cfg.surge_interval];
   EXPECT_EQ(surged.user_count, cfg.total_users + surge);
-  EXPECT_EQ(surged.shard_cell.back(), cfg.surge_cell);
+  EXPECT_EQ(surged.shards.back().cell, cfg.surge_cell);
   // The surge demand becomes visible once the new shard finishes warm-up.
   EXPECT_GT(result.reports.back().grouped_shards,
             result.reports[cfg.surge_interval].grouped_shards);
@@ -83,6 +83,37 @@ TEST(Scenarios, CatalogDriftConfiguresNonStationarity) {
   EXPECT_LT(cfg.base.popularity_forgetting, 0.8);
   const ScenarioResult result = run_scenario(cfg);
   EXPECT_GT(result.reports.back().actual_radio_hz_total, 0.0);
+}
+
+TEST(Scenarios, StreamsToReportSink) {
+  // The scenario runner forwards the full report stream: one on_interval
+  // per shard per interval (empty `groups`, per the streaming contract),
+  // on_group for every scored group, and on_handover for every churn swap.
+  const ScenarioConfig cfg = smoke(ScenarioKind::kMobilityChurn);
+  core::CollectingSink sink;
+  const ScenarioResult result = core::run_scenario(cfg, &sink);
+
+  std::size_t shard_intervals = 0;
+  for (const auto& r : result.reports) {
+    shard_intervals += r.shards.size();
+  }
+  EXPECT_EQ(sink.reports.size(), shard_intervals);
+  for (const auto& r : sink.reports) {
+    EXPECT_TRUE(r.groups.empty()) << "streaming reports must not buffer groups";
+  }
+  EXPECT_GT(sink.groups.size(), 0u);
+  EXPECT_EQ(sink.handovers.size(), result.handovers / 2);  // one event per swap
+
+  // The streamed per-shard totals reproduce the aggregated fleet totals.
+  double streamed_actual = 0.0;
+  for (const auto& r : sink.reports) {
+    streamed_actual += r.actual_radio_hz_total;
+  }
+  double fleet_actual = 0.0;
+  for (const auto& r : result.reports) {
+    fleet_actual += r.actual_radio_hz_total;
+  }
+  EXPECT_DOUBLE_EQ(streamed_actual, fleet_actual);
 }
 
 TEST(Scenarios, DeterministicPerSeed) {
