@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and report per-benchmark deltas.
+
+The CI bench-regression gate: a freshly produced BENCH_*.json is compared
+against the committed baseline, per-benchmark time deltas are printed, and
+anything slower than the threshold is flagged. By default regressions only
+*warn* (hosted-runner noise must never hard-fail a PR); pass --strict to
+exit non-zero when a regression exceeds the threshold (for dedicated perf
+hardware).
+
+Standard library only, by design.
+
+Usage:
+  tools/bench_diff.py BASELINE.json CURRENT.json [--threshold 15]
+      [--metric cpu_time|real_time] [--filter REGEX] [--strict]
+
+Exit status: 0 OK (or warnings without --strict), 1 regression with
+--strict, 2 unreadable/invalid input.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+
+def die(message):
+    print(f"bench_diff: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_benchmarks(path, metric):
+    """Returns {name: time_ns} for the plain iteration entries of `path`."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as err:
+        die(f"cannot read {path}: {err}")
+    except json.JSONDecodeError as err:
+        die(f"{path} is not valid JSON: {err}")
+    out = {}
+    for entry in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of --benchmark_repetitions);
+        # manual emitter entries are run_type == "iteration" as well.
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        name = entry.get("name")
+        value = entry.get(metric, entry.get("real_time"))
+        if name is None or value is None:
+            continue
+        out[name] = float(value)  # benchmark emits times in ns
+    if not out:
+        die(f"{path} holds no benchmark entries")
+    return out
+
+
+def format_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if abs(ns) >= scale:
+            return f"{ns / scale:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Per-benchmark delta report between two google-benchmark "
+        "JSON files, with a warn/fail regression threshold."
+    )
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=15.0,
+        help="regression threshold in percent (default: 15)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("cpu_time", "real_time"),
+        default="cpu_time",
+        help="which benchmark time to compare (default: cpu_time; CI "
+        "wall-clock is noisier than CPU time)",
+    )
+    parser.add_argument(
+        "--filter", default="", help="only compare benchmarks matching this regex"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any regression exceeds the threshold (default: warn "
+        "only — hosted-runner noise must not fail PRs)",
+    )
+    args = parser.parse_args()
+    if args.threshold <= 0:
+        parser.error("--threshold must be positive")
+
+    baseline = load_benchmarks(args.baseline, args.metric)
+    current = load_benchmarks(args.current, args.metric)
+    if args.filter:
+        pattern = re.compile(args.filter)
+        baseline = {k: v for k, v in baseline.items() if pattern.search(k)}
+        current = {k: v for k, v in current.items() if pattern.search(k)}
+
+    shared = [name for name in baseline if name in current]
+    only_baseline = sorted(set(baseline) - set(current))
+    only_current = sorted(set(current) - set(baseline))
+
+    regressions = []
+    improvements = []
+    width = max((len(n) for n in shared), default=4)
+    print(f"bench_diff: {args.current} vs {args.baseline} "
+          f"({args.metric}, threshold {args.threshold:g}%)\n")
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'delta':>8}")
+    for name in shared:
+        base_ns = baseline[name]
+        cur_ns = current[name]
+        delta = (cur_ns - base_ns) / base_ns * 100.0 if base_ns > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  <-- REGRESSION"
+            regressions.append((name, delta))
+        elif delta < -args.threshold:
+            flag = "  (faster)"
+            improvements.append((name, delta))
+        print(
+            f"{name:<{width}}  {format_ns(base_ns):>10}  "
+            f"{format_ns(cur_ns):>10}  {delta:>+7.1f}%{flag}"
+        )
+
+    if only_baseline:
+        print(f"\nonly in baseline (removed?): {', '.join(only_baseline)}")
+    if only_current:
+        print(f"\nonly in current (new): {', '.join(only_current)}")
+
+    print(
+        f"\n{len(shared)} compared, {len(regressions)} regression(s) beyond "
+        f"{args.threshold:g}%, {len(improvements)} improvement(s) beyond it"
+    )
+    annotate = os.environ.get("GITHUB_ACTIONS") == "true"
+    for name, delta in regressions:
+        message = (
+            f"{name} regressed {delta:+.1f}% vs baseline "
+            f"(threshold {args.threshold:g}%)"
+        )
+        if annotate:
+            print(f"::warning title=bench regression::{message}")
+        else:
+            print(f"warning: {message}", file=sys.stderr)
+
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
