@@ -21,6 +21,8 @@
 #include "predict/channel_predictor.hpp"
 #include "predict/demand.hpp"
 #include "rl/ddqn.hpp"
+#include "twin/column_store.hpp"
+#include "twin/store.hpp"
 #include "twin/udt.hpp"
 #include "util/parallel.hpp"
 #include "wireless/channel.hpp"
@@ -67,15 +69,41 @@ nn::Tensor random_tensor(nn::Shape shape, util::Rng& rng) {
   return t;
 }
 
-std::vector<std::vector<float>> random_windows(std::size_t n, std::size_t size,
-                                               util::Rng& rng) {
-  std::vector<std::vector<float>> windows(n, std::vector<float>(size));
-  for (auto& w : windows) {
-    for (float& v : w) {
-      v = static_cast<float>(rng.uniform());
+/// Flat random window batch (the interval path's layout: one float matrix).
+std::vector<float> random_window_data(std::size_t n, std::size_t size,
+                                      util::Rng& rng) {
+  std::vector<float> data(n * size);
+  for (float& v : data) {
+    v = static_cast<float>(rng.uniform());
+  }
+  return data;
+}
+
+/// Populates a twin store with a paper-shaped 600 s history per user:
+/// 1 Hz channel reports, 0.2 Hz location, sparse watch/preference samples.
+void populate_store(twin::TwinStore& store, util::Rng& rng) {
+  twin::TwinColumnStore& columns = store.columns();
+  for (std::size_t u = 0; u < store.user_count(); ++u) {
+    for (int t = 0; t < 600; ++t) {
+      columns.record_channel(u, t, {rng.uniform(0.0, 25.0), rng.uniform(0.1, 5.0), 0});
+      if (t % 5 == 0) {
+        columns.record_location(u, t,
+                                {rng.uniform(0.0, 1200.0), rng.uniform(0.0, 1000.0)});
+      }
+      if (t % 20 == 0) {
+        twin::WatchObservation w;
+        w.category = video::all_categories()[static_cast<std::size_t>(t / 20) %
+                                             video::kCategoryCount];
+        w.watch_seconds = rng.uniform(1.0, 15.0);
+        w.watch_fraction = rng.uniform();
+        w.duration_s = 15.0;
+        columns.record_watch(u, t, w);
+      }
+      if (t % 60 == 0) {
+        columns.record_preference(u, t, columns.estimator(u).estimate());
+      }
     }
   }
-  return windows;
 }
 
 void BM_KMeansPlusPlusInit(benchmark::State& state) {
@@ -123,7 +151,8 @@ void BM_CnnEmbed120Users(benchmark::State& state) {
   core::CompressorConfig cfg;  // 11 channels x 32 steps -> 8-d
   core::FeatureCompressor comp(cfg, 4);
   util::Rng rng(5);
-  const auto windows = random_windows(120, comp.input_size(), rng);
+  const auto data = random_window_data(120, comp.input_size(), rng);
+  const twin::WindowBatch windows(data.data(), 120, comp.input_size());
   benchmark::DoNotOptimize(comp.embed(windows));  // warm the batch buffer
   const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
   for (auto _ : state) {
@@ -140,12 +169,58 @@ void BM_CnnFitEpoch120Users(benchmark::State& state) {
   cfg.epochs_per_fit = 1;
   core::FeatureCompressor comp(cfg, 6);
   util::Rng rng(7);
-  const auto windows = random_windows(120, comp.input_size(), rng);
+  const auto data = random_window_data(120, comp.input_size(), rng);
+  const twin::WindowBatch windows(data.data(), 120, comp.input_size());
   for (auto _ : state) {
     benchmark::DoNotOptimize(comp.fit(windows));
   }
 }
 BENCHMARK(BM_CnnFitEpoch120Users);
+
+// --------------------------------------------------- twin snapshot plane
+// Columnar feature extraction at paper scale (120 users) and fleet scale
+// (10k users). Full = every row re-extracted from the SoA rings;
+// Incremental = the churn workload, where between consecutive snapshots of
+// the same window geometry only ~1% of users report fresh samples and the
+// arena serves everyone else from cached rows.
+
+void BM_TwinSnapshotFull(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  twin::TwinStore store(users);
+  util::Rng rng(31);
+  populate_store(store, rng);
+  twin::FeatureArena arena;
+  const twin::WindowSpec spec{600.0, 600.0, 32, {1200.0, 1000.0, 10.0, 40.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.columns().feature_windows(spec, arena, /*force_full=*/true));
+  }
+  state.counters["rows/iter"] = static_cast<double>(users);
+}
+BENCHMARK(BM_TwinSnapshotFull)->Arg(120)->Arg(10000);
+
+void BM_TwinSnapshotIncremental(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  twin::TwinStore store(users);
+  util::Rng rng(32);
+  populate_store(store, rng);
+  twin::FeatureArena arena;
+  const twin::WindowSpec spec{600.0, 600.0, 32, {1200.0, 1000.0, 10.0, 40.0}};
+  benchmark::DoNotOptimize(store.columns().feature_windows(spec, arena));  // warm
+  const std::size_t churned = std::max<std::size_t>(1, users / 100);
+  std::size_t next = 0;
+  for (auto _ : state) {
+    // Churn workload: a handful of users report inside the window, the
+    // rest are untouched since the previous snapshot.
+    for (std::size_t i = 0; i < churned; ++i) {
+      store.columns().record_channel((next++) % users, 599.5,
+                                     {rng.uniform(0.0, 25.0), rng.uniform(0.1, 5.0), 0});
+    }
+    benchmark::DoNotOptimize(store.columns().feature_windows(spec, arena));
+  }
+  state.counters["rows/iter"] = static_cast<double>(churned);
+}
+BENCHMARK(BM_TwinSnapshotIncremental)->Arg(120)->Arg(10000);
 
 void BM_DdqnAct(benchmark::State& state) {
   rl::DdqnConfig cfg;

@@ -56,8 +56,9 @@ int main(int argc, char** argv) {
   // Rebuild the embedding cloud the way the pipeline does, then let each
   // baseline choose K and cluster.
   const twin::FeatureScaling scaling{1200.0, 1000.0, 10.0, 40.0};
-  const clustering::Points summaries(
-      sim.twins().all_summary_features(sim.now(), config.feature_window_s, scaling));
+  twin::FeatureArena arena;
+  const clustering::Points summaries = core::to_points(sim.twins().columns().summary_features(
+      {sim.now(), config.feature_window_s, scaling}, arena));
 
   util::Rng rng(1234);
   util::Table compare({"strategy", "K", "silhouette", "Davies-Bouldin"});

@@ -42,25 +42,52 @@ FeatureCompressor::FeatureCompressor(const CompressorConfig& config, std::uint64
   optimizer_ = std::make_unique<nn::Adam>(std::move(params), config.learning_rate);
 }
 
-nn::Tensor& FeatureCompressor::gather_batch(
-    const std::vector<std::vector<float>>& windows, const std::size_t* indices,
-    std::size_t begin, std::size_t end) {
+nn::Tensor& FeatureCompressor::gather_batch(const twin::WindowBatch& windows,
+                                            const std::size_t* indices,
+                                            std::size_t begin, std::size_t end) {
   DTMSV_EXPECTS(begin < end && end <= windows.size());
+  DTMSV_EXPECTS_MSG(windows.window_size() == input_size(),
+                    "FeatureCompressor: window size mismatch");
   const std::size_t n = end - begin;
   if (batch_.rank() != 3 || batch_.dim(0) != n) {
     batch_ = nn::Tensor({n, config_.channels, config_.timesteps});
   }
   auto data = batch_.data();
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& w = windows[indices != nullptr ? indices[begin + i] : begin + i];
-    DTMSV_EXPECTS_MSG(w.size() == input_size(),
-                      "FeatureCompressor: window size mismatch");
+    const auto w = windows.row(indices != nullptr ? indices[begin + i] : begin + i);
     std::copy(w.begin(), w.end(), data.begin() + static_cast<std::ptrdiff_t>(i * w.size()));
   }
   return batch_;
 }
 
+twin::WindowBatch FeatureCompressor::stage_windows(
+    const std::vector<std::vector<float>>& windows) {
+  DTMSV_EXPECTS(!windows.empty());
+  staging_.resize(windows.size() * input_size());
+  float* out = staging_.data();
+  for (const auto& w : windows) {
+    DTMSV_EXPECTS_MSG(w.size() == input_size(),
+                      "FeatureCompressor: window size mismatch");
+    out = std::copy(w.begin(), w.end(), out);
+  }
+  return twin::WindowBatch(staging_.data(), windows.size(), input_size());
+}
+
 float FeatureCompressor::fit(const std::vector<std::vector<float>>& windows) {
+  return fit(stage_windows(windows));
+}
+
+clustering::Points FeatureCompressor::embed(
+    const std::vector<std::vector<float>>& windows) {
+  return embed(stage_windows(windows));
+}
+
+float FeatureCompressor::reconstruction_loss(
+    const std::vector<std::vector<float>>& windows) {
+  return reconstruction_loss(stage_windows(windows));
+}
+
+float FeatureCompressor::fit(const twin::WindowBatch& windows) {
   DTMSV_EXPECTS(!windows.empty());
   float last_epoch_loss = 0.0f;
   std::vector<std::size_t> order(windows.size());
@@ -97,8 +124,7 @@ float FeatureCompressor::fit(const std::vector<std::vector<float>>& windows) {
   return last_epoch_loss;
 }
 
-clustering::Points FeatureCompressor::embed(
-    const std::vector<std::vector<float>>& windows) {
+clustering::Points FeatureCompressor::embed(const twin::WindowBatch& windows) {
   DTMSV_EXPECTS(!windows.empty());
   const nn::Tensor& input = gather_batch(windows, nullptr, 0, windows.size());
   const nn::Tensor embedding = encoder_->forward(input);
@@ -114,8 +140,7 @@ clustering::Points FeatureCompressor::embed(
   return points;
 }
 
-float FeatureCompressor::reconstruction_loss(
-    const std::vector<std::vector<float>>& windows) {
+float FeatureCompressor::reconstruction_loss(const twin::WindowBatch& windows) {
   DTMSV_EXPECTS(!windows.empty());
   const nn::Tensor& input = gather_batch(windows, nullptr, 0, windows.size());
   const nn::Tensor target = input.reshaped({windows.size(), input_size()});

@@ -2,6 +2,11 @@
 // convolution neural network (1D-CNN) to compress the time-series UDTs'
 // data." Trained online as an autoencoder (reconstruction MSE) over the
 // users' feature windows; the bottleneck embedding feeds clustering.
+//
+// The interval path feeds it twin::WindowBatch views straight out of the
+// columnar extraction arena — one flat float matrix end to end, no
+// per-user window vectors. The nested-vector overloads are convenience
+// copies for out-of-tree callers and tests.
 #pragma once
 
 #include <memory>
@@ -10,6 +15,7 @@
 #include "clustering/kmeans.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/sequential.hpp"
+#include "twin/arena.hpp"
 #include "util/rng.hpp"
 
 namespace dtmsv::core {
@@ -32,15 +38,21 @@ class FeatureCompressor {
  public:
   FeatureCompressor(const CompressorConfig& config, std::uint64_t seed);
 
-  /// One online training pass: `windows` holds per-user feature windows of
-  /// size channels*timesteps. Returns the mean reconstruction loss of the
-  /// final epoch. Requires at least one window.
-  float fit(const std::vector<std::vector<float>>& windows);
+  /// One online training pass: `windows` holds one channels*timesteps row
+  /// per user. Returns the mean reconstruction loss of the final epoch.
+  /// Requires at least one window.
+  float fit(const twin::WindowBatch& windows);
 
   /// Embeds feature windows into the bottleneck space (no training).
-  clustering::Points embed(const std::vector<std::vector<float>>& windows);
+  clustering::Points embed(const twin::WindowBatch& windows);
 
   /// Mean reconstruction MSE of the given windows under the current model.
+  float reconstruction_loss(const twin::WindowBatch& windows);
+
+  /// Convenience copies of the batch entry points (flatten one vector per
+  /// user into a staging buffer first; the interval path never does this).
+  float fit(const std::vector<std::vector<float>>& windows);
+  clustering::Points embed(const std::vector<std::vector<float>>& windows);
   float reconstruction_loss(const std::vector<std::vector<float>>& windows);
 
   const CompressorConfig& config() const { return config_; }
@@ -49,12 +61,15 @@ class FeatureCompressor {
   nn::Sequential& decoder() { return *decoder_; }
 
  private:
-  /// Gathers windows[indices[begin..end)] (or windows[begin..end) when
+  /// Gathers windows.row(indices[begin..end)) (or rows begin..end when
   /// indices is null) into the reused batch_ tensor — one copy, no
   /// per-window allocations.
-  nn::Tensor& gather_batch(const std::vector<std::vector<float>>& windows,
+  nn::Tensor& gather_batch(const twin::WindowBatch& windows,
                            const std::size_t* indices, std::size_t begin,
                            std::size_t end);
+  /// Copies a nested-vector window set into the flat staging buffer and
+  /// wraps it as a batch view (validating row sizes).
+  twin::WindowBatch stage_windows(const std::vector<std::vector<float>>& windows);
 
   CompressorConfig config_;
   util::Rng rng_;
@@ -62,6 +77,7 @@ class FeatureCompressor {
   std::unique_ptr<nn::Sequential> decoder_;  // [N,emb] -> [N,C*T]
   std::unique_ptr<nn::Adam> optimizer_;
   nn::Tensor batch_;  // reused [N,C,T] staging buffer for fit/embed
+  std::vector<float> staging_;  // legacy-overload flattening buffer
 };
 
 }  // namespace dtmsv::core

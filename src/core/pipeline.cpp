@@ -17,6 +17,29 @@
 
 namespace dtmsv::core {
 
+// ------------------------------------------------------------ TwinSnapshot
+
+twin::WindowBatch TwinSnapshot::feature_windows() const {
+  DTMSV_EXPECTS_MSG(twins != nullptr && arena != nullptr,
+                    "TwinSnapshot: feature_windows() needs a twin store and the "
+                    "Simulation-owned arena");
+  return twins->columns().feature_windows({now, window_s, timesteps, scaling},
+                                          *arena);
+}
+
+twin::SummaryBatch TwinSnapshot::summary_features() const {
+  DTMSV_EXPECTS_MSG(twins != nullptr && arena != nullptr,
+                    "TwinSnapshot: summary_features() needs a twin store and the "
+                    "Simulation-owned arena");
+  return twins->columns().summary_features({now, window_s, scaling}, *arena);
+}
+
+clustering::Points to_points(const twin::SummaryBatch& batch) {
+  clustering::Points points(batch.size(), batch.dim());
+  std::copy(batch.data(), batch.data() + batch.size() * batch.dim(), points.data());
+  return points;
+}
+
 namespace {
 
 // ---------------------------------------------------- built-in FeatureStages
@@ -33,8 +56,7 @@ class CnnFeatureStage final : public FeatureStage {
   }
 
   FeatureOutput extract(const TwinSnapshot& snapshot) override {
-    const auto windows = snapshot.twins->all_feature_windows(
-        snapshot.now, snapshot.window_s, snapshot.timesteps, snapshot.scaling);
+    const twin::WindowBatch windows = snapshot.feature_windows();
     FeatureOutput out;
     out.reconstruction_loss = compressor_->fit(windows);
     out.points = compressor_->embed(windows);
@@ -60,18 +82,17 @@ class CnnFeatureStage final : public FeatureStage {
 class RawWindowFeatureStage final : public FeatureStage {
  public:
   FeatureOutput extract(const TwinSnapshot& snapshot) override {
-    const auto windows = snapshot.twins->all_feature_windows(
-        snapshot.now, snapshot.window_s, snapshot.timesteps, snapshot.scaling);
+    const twin::WindowBatch windows = snapshot.feature_windows();
     FeatureOutput out;
     if (windows.empty()) {
       return out;
     }
-    clustering::Points points(windows.size(), windows.front().size());
+    clustering::Points points(windows.size(), windows.window_size());
     double* rows = points.data();
-    for (const auto& w : windows) {
-      for (const float v : w) {
-        *rows++ = static_cast<double>(v);
-      }
+    const float* flat = windows.data();
+    const std::size_t total = windows.size() * windows.window_size();
+    for (std::size_t i = 0; i < total; ++i) {
+      rows[i] = static_cast<double>(flat[i]);
     }
     out.points = std::move(points);
     return out;
@@ -84,8 +105,7 @@ class SummaryStatsFeatureStage final : public FeatureStage {
  public:
   FeatureOutput extract(const TwinSnapshot& snapshot) override {
     FeatureOutput out;
-    out.points = clustering::Points(snapshot.twins->all_summary_features(
-        snapshot.now, snapshot.window_s, snapshot.scaling));
+    out.points = to_points(snapshot.summary_features());
     return out;
   }
   std::string name() const override { return "summary"; }

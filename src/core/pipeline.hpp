@@ -31,6 +31,7 @@
 #include "behavior/preference.hpp"
 #include "clustering/kmeans.hpp"
 #include "predict/demand.hpp"
+#include "twin/arena.hpp"
 #include "twin/udt.hpp"
 #include "util/clock.hpp"
 #include "video/catalog.hpp"
@@ -145,15 +146,32 @@ class CollectingSink final : public ReportSink {
 // ------------------------------------------------------------------- stages
 
 /// Zero-copy view of the twin state a FeatureStage consumes: the live
-/// TwinStore plus the window geometry. Valid only for the duration of the
-/// extract() call; stages must not retain the pointer.
+/// TwinStore plus the window geometry and the pooled extraction arena the
+/// owning Simulation provides. Valid only for the duration of the
+/// extract() call; stages must not retain the pointers.
 struct TwinSnapshot {
   const twin::TwinStore* twins = nullptr;
   util::SimTime now = 0.0;
   double window_s = 0.0;       // feature window length (SchemeConfig)
   std::size_t timesteps = 0;   // resampled window length (SchemeConfig)
   twin::FeatureScaling scaling{};  // campus extent + channel normalisation
+  /// Pooled extraction buffers owned by the Simulation. The batch views
+  /// below materialise into it incrementally (only users whose histories
+  /// changed since the arena's last same-geometry extraction are
+  /// re-extracted) and alias it: they stay valid until the next extraction
+  /// using the same arena — copy rows out if a stage keeps them.
+  twin::FeatureArena* arena = nullptr;
+
+  /// All users' [kFeatureChannels x timesteps] windows, flat row-major.
+  /// Requires `arena`; bit-identical to the per-twin feature_window rows.
+  twin::WindowBatch feature_windows() const;
+  /// All users' summary-feature rows, flat row-major. Requires `arena`.
+  twin::SummaryBatch summary_features() const;
 };
+
+/// Copies a summary batch into an owning flat point set (one allocation) —
+/// for grouping consumers that outlive the arena the batch aliases.
+clustering::Points to_points(const twin::SummaryBatch& batch);
 
 /// FeatureStage output: one feature point per user (row-major), plus the
 /// training loss for stages that learn online (0 otherwise).

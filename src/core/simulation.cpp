@@ -513,6 +513,7 @@ EpochReport Simulation::run_interval_impl(ReportSink* sink) {
     snapshot.timesteps = config_.feature_timesteps;
     snapshot.scaling =
         twin::FeatureScaling{campus_.width(), campus_.height(), 10.0, 40.0};
+    snapshot.arena = &feature_arena_;
     FeatureOutput features = feature_stage_->extract(snapshot);
     report.reconstruction_loss = features.reconstruction_loss;
     timings_.feature_s += wall_s() - t_feat0;

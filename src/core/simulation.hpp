@@ -260,6 +260,10 @@ class Simulation {
   std::unique_ptr<mobility::MobilityField> mobility_;
   std::unique_ptr<wireless::ChannelModel> channel_;
   std::unique_ptr<twin::TwinStore> twins_;
+  /// Pooled feature-extraction buffers handed to every TwinSnapshot: the
+  /// interval path materialises windows/summaries in place (no per-user
+  /// vectors), and unchanged users are served from the cached rows.
+  twin::FeatureArena feature_arena_;
   std::unique_ptr<twin::StatusCollector> collector_;
   std::vector<behavior::PreferenceVector> affinities_;
   std::vector<behavior::ViewingSession> warmup_sessions_;

@@ -8,7 +8,7 @@
 namespace dtmsv::predict {
 
 double LastValuePredictor::predict(
-    const twin::AttributeSeries<twin::ChannelObservation>& history, util::SimTime now,
+    const twin::ChannelSeries& history, util::SimTime now,
     double window_s, double fallback) const {
   const auto window = history.window(now - window_s, now);
   if (window.empty()) {
@@ -22,7 +22,7 @@ EwmaPredictor::EwmaPredictor(double alpha) : alpha_(alpha) {
 }
 
 double EwmaPredictor::predict(
-    const twin::AttributeSeries<twin::ChannelObservation>& history, util::SimTime now,
+    const twin::ChannelSeries& history, util::SimTime now,
     double window_s, double fallback) const {
   const auto window = history.window(now - window_s, now);
   if (window.empty()) {
@@ -40,7 +40,7 @@ LinearTrendPredictor::LinearTrendPredictor(double horizon_s) : horizon_s_(horizo
 }
 
 double LinearTrendPredictor::predict(
-    const twin::AttributeSeries<twin::ChannelObservation>& history, util::SimTime now,
+    const twin::ChannelSeries& history, util::SimTime now,
     double window_s, double fallback) const {
   const auto window = history.window(now - window_s, now);
   if (window.empty()) {
@@ -73,7 +73,7 @@ double LinearTrendPredictor::predict(
 }
 
 double MeanPredictor::predict(
-    const twin::AttributeSeries<twin::ChannelObservation>& history, util::SimTime now,
+    const twin::ChannelSeries& history, util::SimTime now,
     double window_s, double fallback) const {
   const auto window = history.window(now - window_s, now);
   if (window.empty()) {
@@ -123,15 +123,22 @@ GroupChannelForecast forecast_group_channel(
   for (const auto* member : members) {
     DTMSV_EXPECTS(member != nullptr);
     std::fill(member_series.begin(), member_series.end(), kUnset);
-    for (const auto& s : member->channel()) {
-      if (s.time < from || s.time >= now) {
-        continue;
+    // Scan the columnar history directly — the time and efficiency lanes
+    // are flat arrays, so the per-bin pass streams instead of
+    // materialising a Stamped observation per sample.
+    const twin::ChannelColumn& column = member->columns().channel_column();
+    const std::vector<double>& times = column.times();
+    const std::vector<double>& efficiency = column.efficiency();
+    column.for_each_slot(member->slot(), [&](std::size_t at) {
+      const double t = times[at];
+      if (t < from || t >= now) {
+        return;
       }
-      auto b = static_cast<std::size_t>((s.time - from) / bin_s);
+      auto b = static_cast<std::size_t>((t - from) / bin_s);
       b = std::min(b, bins - 1);
       // Keep the last sample per bin (samples arrive time-ordered).
-      member_series[b] = s.value.efficiency_bps_hz;
-    }
+      member_series[b] = efficiency[at];
+    });
     // Hold forward through empty bins (report loss / slow collection).
     double hold = kUnset;
     for (std::size_t b = 0; b < bins; ++b) {

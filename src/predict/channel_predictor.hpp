@@ -1,6 +1,10 @@
 // Per-user spectral-efficiency prediction from UDT channel history: the
 // radio-side input to group demand prediction. A multicast group's next-
 // interval efficiency is the minimum of its members' predictions.
+//
+// Histories arrive as twin::ChannelSeries — the zero-copy per-user view
+// over the columnar twin store (twin/columns.hpp); the query surface
+// matches the old AttributeSeries exactly.
 #pragma once
 
 #include <memory>
@@ -22,7 +26,7 @@ class EfficiencyPredictor {
   /// Prediction using samples in [now - window_s, now). Returns a
   /// non-negative efficiency; implementations fall back to `fallback`
   /// when the window is empty.
-  virtual double predict(const twin::AttributeSeries<twin::ChannelObservation>& history,
+  virtual double predict(const twin::ChannelSeries& history,
                          util::SimTime now, double window_s,
                          double fallback = 0.5) const = 0;
 
@@ -32,7 +36,7 @@ class EfficiencyPredictor {
 /// Uses the most recent sample only.
 class LastValuePredictor final : public EfficiencyPredictor {
  public:
-  double predict(const twin::AttributeSeries<twin::ChannelObservation>& history,
+  double predict(const twin::ChannelSeries& history,
                  util::SimTime now, double window_s, double fallback) const override;
   std::string name() const override { return "last-value"; }
 };
@@ -41,7 +45,7 @@ class LastValuePredictor final : public EfficiencyPredictor {
 class EwmaPredictor final : public EfficiencyPredictor {
  public:
   explicit EwmaPredictor(double alpha = 0.3);
-  double predict(const twin::AttributeSeries<twin::ChannelObservation>& history,
+  double predict(const twin::ChannelSeries& history,
                  util::SimTime now, double window_s, double fallback) const override;
   std::string name() const override { return "ewma"; }
 
@@ -55,7 +59,7 @@ class LinearTrendPredictor final : public EfficiencyPredictor {
  public:
   /// `horizon_s`: how far past `now` to extrapolate.
   explicit LinearTrendPredictor(double horizon_s = 150.0);
-  double predict(const twin::AttributeSeries<twin::ChannelObservation>& history,
+  double predict(const twin::ChannelSeries& history,
                  util::SimTime now, double window_s, double fallback) const override;
   std::string name() const override { return "linear-trend"; }
 
@@ -66,7 +70,7 @@ class LinearTrendPredictor final : public EfficiencyPredictor {
 /// Window mean (the simplest robust predictor).
 class MeanPredictor final : public EfficiencyPredictor {
  public:
-  double predict(const twin::AttributeSeries<twin::ChannelObservation>& history,
+  double predict(const twin::ChannelSeries& history,
                  util::SimTime now, double window_s, double fallback) const override;
   std::string name() const override { return "mean"; }
 };

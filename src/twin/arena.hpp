@@ -1,0 +1,134 @@
+// Pooled extraction buffers and zero-copy batch views for the twin data
+// plane. A FeatureArena (one per Simulation) owns the flat feature-window
+// and summary-feature matrices the per-interval pipeline reads; the
+// TwinColumnStore materialises rows into it incrementally — only users
+// whose histories changed since the arena's last extraction with the same
+// window geometry are re-extracted (see column_store.hpp).
+//
+// Aliasing rules for stage authors: WindowBatch / SummaryBatch are
+// non-owning views into the arena, valid until the next extraction call
+// that uses the same arena (in the built-in pipeline: until the next
+// interval's FeatureStage::extract). Copy rows out if you keep them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "twin/observations.hpp"
+#include "util/clock.hpp"
+
+namespace dtmsv::twin {
+
+class TwinColumnStore;
+
+/// Geometry of a feature-window extraction: the cache key deciding whether
+/// an arena row can be reused for an unchanged user.
+struct WindowSpec {
+  util::SimTime now = 0.0;
+  double window_s = 0.0;
+  std::size_t timesteps = 0;
+  FeatureScaling scaling{};
+
+  friend bool operator==(const WindowSpec&, const WindowSpec&) = default;
+};
+
+/// Geometry of a summary-feature extraction.
+struct SummarySpec {
+  util::SimTime now = 0.0;
+  double window_s = 0.0;
+  FeatureScaling scaling{};
+
+  friend bool operator==(const SummarySpec&, const SummarySpec&) = default;
+};
+
+/// What the last extraction actually did (observability for tests/benches:
+/// the incremental path must only refresh dirty users).
+struct ExtractStats {
+  std::size_t refreshed = 0;  // rows re-extracted this call
+  std::size_t reused = 0;     // rows served from the arena cache
+};
+
+/// Flat [users x channels*timesteps] float view over the arena.
+class WindowBatch {
+ public:
+  explicit WindowBatch() = default;
+  explicit WindowBatch(const float* data, std::size_t count, std::size_t window_size)
+      : data_(data), count_(count), window_(window_size) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Elements per row (channels * timesteps).
+  std::size_t window_size() const { return window_; }
+  std::span<const float> row(std::size_t i) const {
+    return {data_ + i * window_, window_};
+  }
+  const float* data() const { return data_; }
+
+ private:
+  const float* data_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t window_ = 0;
+};
+
+/// Flat [users x dim] double view over the arena.
+class SummaryBatch {
+ public:
+  explicit SummaryBatch() = default;
+  explicit SummaryBatch(const double* data, std::size_t count, std::size_t dim)
+      : data_(data), count_(count), dim_(dim) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t dim() const { return dim_; }
+  std::span<const double> row(std::size_t i) const {
+    return {data_ + i * dim_, dim_};
+  }
+  const double* data() const { return data_; }
+
+ private:
+  const double* data_ = nullptr;
+  std::size_t count_ = 0;
+  std::size_t dim_ = 0;
+};
+
+/// Reusable extraction buffers plus the cache metadata (spec + per-user
+/// revision watermarks) that makes extraction incremental. Owned by the
+/// consumer (core::Simulation owns one per cell); an arena is bound to
+/// whichever store extracted into it last and revalidates automatically
+/// when the store, geometry, or population changes.
+class FeatureArena {
+ public:
+  FeatureArena() = default;
+
+  /// Drops cache validity; the next extraction re-extracts every user.
+  void invalidate() {
+    windows_valid_ = false;
+    summaries_valid_ = false;
+  }
+
+  const ExtractStats& window_stats() const { return window_stats_; }
+  const ExtractStats& summary_stats() const { return summary_stats_; }
+
+ private:
+  friend class TwinColumnStore;
+
+  std::vector<float> windows_;
+  std::vector<double> summaries_;
+  std::vector<std::uint64_t> window_revisions_;
+  std::vector<std::uint64_t> summary_revisions_;
+  WindowSpec window_spec_{};
+  SummarySpec summary_spec_{};
+  // Stores are identified by their process-unique id, not their address —
+  // a successor store can reuse a freed store's address (ABA) but never
+  // its id, so a long-lived arena can never serve a dead store's rows.
+  std::uint64_t window_store_id_ = 0;
+  std::uint64_t summary_store_id_ = 0;
+  bool windows_valid_ = false;
+  bool summaries_valid_ = false;
+  ExtractStats window_stats_{};
+  ExtractStats summary_stats_{};
+};
+
+}  // namespace dtmsv::twin

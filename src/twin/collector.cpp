@@ -46,6 +46,9 @@ void StatusCollector::tick(util::SimTime now, double dt, TwinStore& store,
   // window queries therefore see slightly delayed state, as in a real DT.
   const util::SimTime visible = now + policy_.latency_s;
 
+  // Bulk reports write straight into the columnar store: one contiguous
+  // (time, value) column per attribute, no per-twin indirection.
+  TwinColumnStore& columns = store.columns();
   if (due(next_channel_, now, policy_.channel_period_s)) {
     for (std::size_t u = 0; u < store.user_count(); ++u) {
       if (!deliver()) {
@@ -53,8 +56,8 @@ void StatusCollector::tick(util::SimTime now, double dt, TwinStore& store,
         continue;
       }
       const auto& s = channel.sample_of(u);
-      store.twin(u).record_channel(
-          visible, {s.snr_db, s.efficiency_bps_hz, s.serving_bs});
+      columns.record_channel(u, visible,
+                             {s.snr_db, s.efficiency_bps_hz, s.serving_bs});
       ++stats_.channel_reports;
     }
   }
@@ -65,7 +68,7 @@ void StatusCollector::tick(util::SimTime now, double dt, TwinStore& store,
         ++stats_.dropped_reports;
         continue;
       }
-      store.twin(u).record_location(visible, mobility.position_of(u));
+      columns.record_location(u, visible, mobility.position_of(u));
       ++stats_.location_reports;
     }
   }
@@ -83,9 +86,8 @@ void StatusCollector::tick(util::SimTime now, double dt, TwinStore& store,
     obs.watch_seconds = ev.watch_seconds;
     obs.watch_fraction = ev.watch_fraction;
     obs.completed = ev.completed;
-    store.twin(ev.user_id).record_watch(ev.start_time + ev.watch_seconds +
-                                            policy_.latency_s,
-                                        std::move(obs));
+    columns.record_watch(ev.user_id,
+                         ev.start_time + ev.watch_seconds + policy_.latency_s, obs);
     ++stats_.watch_reports;
   }
 
@@ -95,8 +97,7 @@ void StatusCollector::tick(util::SimTime now, double dt, TwinStore& store,
         ++stats_.dropped_reports;
         continue;
       }
-      auto& twin = store.twin(u);
-      twin.record_preference(visible, twin.preference_estimator().estimate());
+      columns.record_preference(u, visible, columns.estimator(u).estimate());
       ++stats_.preference_reports;
     }
   }

@@ -1,8 +1,14 @@
-// Timestamped attribute series: the storage primitive inside a UDT. Each
-// collected attribute (channel, location, watch events, preference) keeps a
-// bounded history with window queries; different attributes are sampled at
-// different frequencies, as the paper requires ("Different data attributes
-// are collected with different frequencies").
+// Timestamped attribute series: the storage primitive inside a standalone
+// UDT. Each collected attribute (channel, location, watch events,
+// preference) keeps a bounded history with window queries; different
+// attributes are sampled at different frequencies, as the paper requires
+// ("Different data attributes are collected with different frequencies").
+//
+// The fleet data plane stores histories columnarly (twin/columns.hpp); this
+// deque-backed template remains the single-user container and the reference
+// for the series contract, including the eviction-truncation rule both
+// implementations share: a window query whose `from` predates the evicted
+// range must say so instead of silently returning a shorter window.
 #pragma once
 
 #include <algorithm>
@@ -22,6 +28,15 @@ struct Stamped {
   T value{};
 };
 
+/// Window query result that reports capacity truncation: `truncated` is
+/// true when samples with time >= `from` were already evicted, i.e. the
+/// returned window is missing history the caller asked for.
+template <typename T>
+struct WindowQuery {
+  std::vector<Stamped<T>> samples;
+  bool truncated = false;
+};
+
 /// Bounded, time-ordered attribute history.
 template <typename T>
 class AttributeSeries {
@@ -37,6 +52,8 @@ class AttributeSeries {
                       "AttributeSeries: timestamps must be non-decreasing");
     samples_.push_back({time, std::move(value)});
     if (samples_.size() > capacity_) {
+      last_evicted_time_ = samples_.front().time;
+      evicted_ = true;
       samples_.pop_front();
     }
   }
@@ -57,6 +74,12 @@ class AttributeSeries {
     return samples_.front();
   }
 
+  /// True when a query starting at `from` would be missing evicted samples:
+  /// capacity eviction has dropped at least one sample with time >= from.
+  bool truncated_before(util::SimTime from) const {
+    return evicted_ && last_evicted_time_ >= from;
+  }
+
   /// Samples with time in [from, to), oldest first.
   std::vector<Stamped<T>> window(util::SimTime from, util::SimTime to) const {
     DTMSV_EXPECTS(from <= to);
@@ -67,6 +90,12 @@ class AttributeSeries {
       }
     }
     return out;
+  }
+
+  /// Window query that also reports whether `from` predates the evicted
+  /// range (the retained samples cannot cover the full request).
+  WindowQuery<T> window_query(util::SimTime from, util::SimTime to) const {
+    return {window(from, to), truncated_before(from)};
   }
 
   /// Age of the newest sample relative to `now`; +inf when empty.
@@ -81,11 +110,17 @@ class AttributeSeries {
   auto begin() const { return samples_.begin(); }
   auto end() const { return samples_.end(); }
 
-  void clear() { samples_.clear(); }
+  void clear() {
+    samples_.clear();
+    evicted_ = false;
+    last_evicted_time_ = 0.0;
+  }
 
  private:
   std::size_t capacity_;
   std::deque<Stamped<T>> samples_;
+  util::SimTime last_evicted_time_ = 0.0;
+  bool evicted_ = false;
 };
 
 }  // namespace dtmsv::twin

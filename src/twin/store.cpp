@@ -5,18 +5,17 @@
 namespace dtmsv::twin {
 
 TwinStore::TwinStore(std::size_t user_count, std::size_t history_capacity)
-    : history_capacity_(history_capacity) {
+    : columns_(std::make_unique<TwinColumnStore>(user_count, history_capacity)) {
   DTMSV_EXPECTS(user_count > 0);
   twins_.reserve(user_count);
   for (std::size_t u = 0; u < user_count; ++u) {
-    twins_.emplace_back(u, history_capacity);
+    twins_.emplace_back(UserDigitalTwin(columns_.get(), u, u));
   }
 }
 
 void TwinStore::reset_user(std::uint64_t user_id) {
   DTMSV_EXPECTS(user_id < twins_.size());
-  twins_[static_cast<std::size_t>(user_id)] =
-      UserDigitalTwin(user_id, history_capacity_);
+  columns_->reset_user(static_cast<std::size_t>(user_id));
 }
 
 UserDigitalTwin& TwinStore::twin(std::uint64_t user_id) {
@@ -29,29 +28,36 @@ const UserDigitalTwin& TwinStore::twin(std::uint64_t user_id) const {
   return twins_[static_cast<std::size_t>(user_id)];
 }
 
-void TwinStore::decay_preferences() {
-  for (auto& t : twins_) {
-    t.decay_preference();
-  }
-}
+void TwinStore::decay_preferences() { columns_->decay_preferences(); }
 
 std::vector<std::vector<float>> TwinStore::all_feature_windows(
     util::SimTime now, double window_s, std::size_t timesteps,
     const FeatureScaling& scaling) const {
+  // Deprecated copying bridge: extract on the columnar path (a private
+  // arena, full extraction) and fan the flat matrix out into the legacy
+  // one-vector-per-user shape.
+  FeatureArena arena;
+  const WindowBatch batch = columns_->feature_windows(
+      {now, window_s, timesteps, scaling}, arena, /*force_full=*/true);
   std::vector<std::vector<float>> out;
-  out.reserve(twins_.size());
-  for (const auto& t : twins_) {
-    out.push_back(t.feature_window(now, window_s, timesteps, scaling));
+  out.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto row = batch.row(i);
+    out.emplace_back(row.begin(), row.end());
   }
   return out;
 }
 
 std::vector<std::vector<double>> TwinStore::all_summary_features(
     util::SimTime now, double window_s, const FeatureScaling& scaling) const {
+  FeatureArena arena;
+  const SummaryBatch batch = columns_->summary_features({now, window_s, scaling},
+                                                        arena, /*force_full=*/true);
   std::vector<std::vector<double>> out;
-  out.reserve(twins_.size());
-  for (const auto& t : twins_) {
-    out.push_back(t.summary_features(now, window_s, scaling));
+  out.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto row = batch.row(i);
+    out.emplace_back(row.begin(), row.end());
   }
   return out;
 }

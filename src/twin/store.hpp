@@ -1,18 +1,28 @@
 // TwinStore: the edge server's collection of UDTs ("UDTs are deployed on the
 // edge server to store user status for individual user").
+//
+// Storage is columnar: one TwinColumnStore holds every user's histories as
+// SoA ring buffers, and the UserDigitalTwin objects handed out by twin()
+// are stable handles into it. reset_user is slot recycling (O(1), no
+// allocation); batch feature extraction goes through the column store's
+// pooled, incremental path (TwinColumnStore::feature_windows /
+// summary_features via core::TwinSnapshot).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "twin/udt.hpp"
 
 namespace dtmsv::twin {
 
-/// Owns one UserDigitalTwin per user.
+/// Owns the columnar histories plus one UserDigitalTwin handle per user.
 class TwinStore {
  public:
   /// Creates `user_count` twins with ids 0..user_count-1.
+  /// `history_capacity` sizes the 1 Hz channel lane; the sparser attribute
+  /// lanes keep ColumnCapacities::scaled shares of it.
   explicit TwinStore(std::size_t user_count, std::size_t history_capacity = 2048);
 
   std::size_t user_count() const { return twins_.size(); }
@@ -20,25 +30,39 @@ class TwinStore {
   UserDigitalTwin& twin(std::uint64_t user_id);
   const UserDigitalTwin& twin(std::uint64_t user_id) const;
 
-  /// Replaces one twin with an empty one (the slot's user was handed over;
-  /// the edge server holds no history for the newcomer).
+  /// Recycles one twin slot (the slot's user was handed over; the edge
+  /// server holds no history for the newcomer): rings empty in place, the
+  /// preference estimator resets, and the slot's dirty watermark advances
+  /// so incremental extraction drops any cached row of the departed user.
   void reset_user(std::uint64_t user_id);
 
   /// Applies preference forgetting on every twin (once per interval).
   void decay_preferences();
 
+  /// The columnar engine: batch ingestion and pooled zero-copy extraction.
+  TwinColumnStore& columns() { return *columns_; }
+  const TwinColumnStore& columns() const { return *columns_; }
+
   /// Extracts the CNN feature windows of all users, stacked row-major as
   /// [user][channel*timesteps]; see UserDigitalTwin::feature_window.
+  [[deprecated(
+      "copies one vector per user; use TwinColumnStore::feature_windows via "
+      "columns() or core::TwinSnapshot::feature_windows() for the pooled "
+      "zero-copy path")]]
   std::vector<std::vector<float>> all_feature_windows(
       util::SimTime now, double window_s, std::size_t timesteps,
       const FeatureScaling& scaling) const;
 
   /// Extracts summary features of all users.
+  [[deprecated(
+      "copies one vector per user; use TwinColumnStore::summary_features via "
+      "columns() or core::TwinSnapshot::summary_features() for the pooled "
+      "zero-copy path")]]
   std::vector<std::vector<double>> all_summary_features(
       util::SimTime now, double window_s, const FeatureScaling& scaling) const;
 
  private:
-  std::size_t history_capacity_;
+  std::unique_ptr<TwinColumnStore> columns_;
   std::vector<UserDigitalTwin> twins_;
 };
 

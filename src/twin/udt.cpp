@@ -1,146 +1,55 @@
 #include "twin/udt.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 #include "util/error.hpp"
-#include "util/stats.hpp"
 
 namespace dtmsv::twin {
 
 UserDigitalTwin::UserDigitalTwin(std::uint64_t user_id, std::size_t history_capacity)
     : user_id_(user_id),
-      channel_(history_capacity),
-      location_(history_capacity),
-      watch_(history_capacity),
-      preference_(history_capacity) {}
+      slot_(0),
+      store_(nullptr),
+      owned_(std::make_unique<TwinColumnStore>(1, history_capacity)) {
+  store_ = owned_.get();
+}
+
+UserDigitalTwin::UserDigitalTwin(TwinColumnStore* store, std::uint64_t user_id,
+                                 std::size_t slot)
+    : user_id_(user_id), slot_(slot), store_(store) {
+  DTMSV_EXPECTS(store != nullptr);
+  DTMSV_EXPECTS(slot < store->user_count());
+}
 
 void UserDigitalTwin::record_channel(util::SimTime t, ChannelObservation obs) {
-  channel_.record(t, obs);
+  store_->record_channel(slot_, t, obs);
 }
 
 void UserDigitalTwin::record_location(util::SimTime t, mobility::Position pos) {
-  location_.record(t, pos);
+  store_->record_location(slot_, t, pos);
 }
 
 void UserDigitalTwin::record_watch(util::SimTime t, WatchObservation obs) {
-  pref_estimator_.observe(obs.category, obs.watch_seconds);
-  watch_.record(t, std::move(obs));
+  store_->record_watch(slot_, t, obs);
 }
 
 void UserDigitalTwin::record_preference(util::SimTime t,
                                         behavior::PreferenceVector estimate) {
-  preference_.record(t, estimate);
+  store_->record_preference(slot_, t, estimate);
 }
 
-void UserDigitalTwin::decay_preference() { pref_estimator_.decay(); }
-
-namespace {
-
-/// Resamples a timestamped scalar series into `bins` uniform bins over
-/// [from, to) with zero-order hold for empty bins.
-template <typename Series, typename Extract>
-void fill_channel(std::vector<float>& out, std::size_t channel, std::size_t bins,
-                  const Series& series, util::SimTime from, util::SimTime to,
-                  Extract&& extract) {
-  const double bin_width = (to - from) / static_cast<double>(bins);
-  std::vector<double> sums(bins, 0.0);
-  std::vector<std::size_t> counts(bins, 0);
-  for (const auto& s : series) {
-    if (s.time < from || s.time >= to) {
-      continue;
-    }
-    auto b = static_cast<std::size_t>((s.time - from) / bin_width);
-    b = std::min(b, bins - 1);
-    sums[b] += extract(s.value);
-    ++counts[b];
-  }
-  float hold = 0.0f;
-  for (std::size_t b = 0; b < bins; ++b) {
-    if (counts[b] > 0) {
-      hold = static_cast<float>(sums[b] / static_cast<double>(counts[b]));
-    }
-    out[channel * bins + b] = hold;
-  }
-}
-
-}  // namespace
+void UserDigitalTwin::decay_preference() { store_->decay_preference(slot_); }
 
 std::vector<float> UserDigitalTwin::feature_window(util::SimTime now, double window_s,
                                                    std::size_t timesteps,
                                                    const FeatureScaling& scaling) const {
-  DTMSV_EXPECTS(window_s > 0.0);
-  DTMSV_EXPECTS(timesteps > 0);
-  DTMSV_EXPECTS(scaling.pos_x_scale > 0.0 && scaling.pos_y_scale > 0.0);
-  DTMSV_EXPECTS(scaling.snr_scale_db > 0.0);
-
-  const util::SimTime from = now - window_s;
   std::vector<float> out(kFeatureChannels * timesteps, 0.0f);
-
-  fill_channel(out, 0, timesteps, channel_, from, now, [&](const ChannelObservation& c) {
-    return std::clamp((c.snr_db + scaling.snr_offset_db) / scaling.snr_scale_db, 0.0, 1.5);
-  });
-  fill_channel(out, 1, timesteps, channel_, from, now, [](const ChannelObservation& c) {
-    return std::clamp(c.efficiency_bps_hz / 6.0, 0.0, 1.0);
-  });
-  fill_channel(out, 2, timesteps, location_, from, now, [&](const mobility::Position& p) {
-    return std::clamp(p.x / scaling.pos_x_scale, 0.0, 1.0);
-  });
-  fill_channel(out, 3, timesteps, location_, from, now, [&](const mobility::Position& p) {
-    return std::clamp(p.y / scaling.pos_y_scale, 0.0, 1.0);
-  });
-  fill_channel(out, 4, timesteps, watch_, from, now, [](const WatchObservation& w) {
-    return std::clamp(w.watch_fraction, 0.0, 1.0);
-  });
-  for (std::size_t c = 0; c < video::kCategoryCount; ++c) {
-    fill_channel(out, 5 + c, timesteps, preference_, from, now,
-                 [c](const behavior::PreferenceVector& p) { return p[c]; });
-  }
+  store_->extract_window_row(slot_, {now, window_s, timesteps, scaling}, out.data());
   return out;
 }
 
 std::vector<double> UserDigitalTwin::summary_features(util::SimTime now, double window_s,
                                                       const FeatureScaling& scaling) const {
-  DTMSV_EXPECTS(window_s > 0.0);
-  const util::SimTime from = now - window_s;
-
-  util::RunningStats snr;
-  for (const auto& s : channel_) {
-    if (s.time >= from && s.time < now) {
-      snr.add(s.value.snr_db);
-    }
-  }
-  util::RunningStats x;
-  util::RunningStats y;
-  for (const auto& s : location_) {
-    if (s.time >= from && s.time < now) {
-      x.add(s.value.x);
-      y.add(s.value.y);
-    }
-  }
-  util::RunningStats frac;
-  for (const auto& s : watch_) {
-    if (s.time >= from && s.time < now) {
-      frac.add(s.value.watch_fraction);
-    }
-  }
-
-  std::vector<double> out;
-  out.reserve(6 + video::kCategoryCount);
-  out.push_back(snr.empty()
-                    ? 0.0
-                    : std::clamp((snr.mean() + scaling.snr_offset_db) / scaling.snr_scale_db,
-                                 0.0, 1.5));
-  out.push_back(snr.empty() ? 0.0 : snr.stddev() / scaling.snr_scale_db);
-  out.push_back(x.empty() ? 0.0 : x.mean() / scaling.pos_x_scale);
-  out.push_back(y.empty() ? 0.0 : y.mean() / scaling.pos_y_scale);
-  out.push_back(frac.empty() ? 0.0 : frac.mean());
-  out.push_back(frac.empty() ? 0.0 : frac.stddev());
-  const behavior::PreferenceVector pref =
-      preference_.empty() ? pref_estimator_.estimate() : preference_.latest().value;
-  for (const double p : pref) {
-    out.push_back(p);
-  }
+  std::vector<double> out(TwinColumnStore::kSummaryDim, 0.0);
+  store_->extract_summary_row(slot_, {now, window_s, scaling}, out.data());
   return out;
 }
 

@@ -1,51 +1,44 @@
 // User digital twin (UDT): the edge-hosted mirror of one user's real-time
 // status — channel condition, location, watching duration, and preference —
 // exactly the four attributes the paper's UDTs collect.
+//
+// Since the columnar refactor a UserDigitalTwin is a handle: the histories
+// live in a TwinColumnStore (SoA ring buffers shared by the whole cell,
+// twin/column_store.hpp) and the accessors return SeriesView adapters with
+// the familiar series surface. A standalone twin (tests, single-user
+// tooling) owns a private one-user store, so the ingestion/query API is
+// unchanged from the AttributeSeries era. Retention is not: the dense
+// lanes size per attribute (ColumnCapacities::scaled — location/watch/
+// preference keep 1/4-1/16 of the channel capacity, matching the
+// collector's report rates), where the deque era gave every attribute the
+// full capacity.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "behavior/preference.hpp"
-#include "behavior/session.hpp"
-#include "mobility/campus_map.hpp"
-#include "twin/series.hpp"
+#include "twin/column_store.hpp"
 #include "util/clock.hpp"
 
 namespace dtmsv::twin {
 
-/// Channel observation stored in the twin.
-struct ChannelObservation {
-  double snr_db = 0.0;
-  double efficiency_bps_hz = 0.0;
-  std::size_t serving_bs = 0;
-};
-
-/// Watch observation: one finished view.
-struct WatchObservation {
-  std::uint64_t video_id = 0;
-  video::Category category = video::Category::kNews;
-  double duration_s = 0.0;
-  double watch_seconds = 0.0;
-  double watch_fraction = 0.0;
-  bool completed = false;
-};
-
-/// Normalisation constants for feature extraction (so embeddings are
-/// scale-free regardless of campus size or SNR range).
-struct FeatureScaling {
-  double pos_x_scale = 1200.0;  // campus width in metres
-  double pos_y_scale = 1000.0;  // campus height
-  double snr_offset_db = 10.0;  // maps snr -10 dB -> 0
-  double snr_scale_db = 40.0;   // maps snr  30 dB -> 1
-};
-
-/// Per-user digital twin.
+/// Per-user digital twin handle.
 class UserDigitalTwin {
  public:
-  /// `history_capacity`: retained samples per attribute series.
+  /// Standalone twin owning its own single-user columnar store.
+  /// `history_capacity`: retained channel-lane samples; the sparser
+  /// attributes keep ColumnCapacities::scaled shares of it.
   explicit UserDigitalTwin(std::uint64_t user_id, std::size_t history_capacity = 2048);
+
+  /// View of slot `slot` inside a shared store (TwinStore's twins).
+  UserDigitalTwin(TwinColumnStore* store, std::uint64_t user_id, std::size_t slot);
+
+  UserDigitalTwin(UserDigitalTwin&&) = default;
+  UserDigitalTwin& operator=(UserDigitalTwin&&) = default;
+  UserDigitalTwin(const UserDigitalTwin&) = delete;
+  UserDigitalTwin& operator=(const UserDigitalTwin&) = delete;
 
   std::uint64_t user_id() const { return user_id_; }
 
@@ -55,23 +48,21 @@ class UserDigitalTwin {
   void record_watch(util::SimTime t, WatchObservation obs);
   void record_preference(util::SimTime t, behavior::PreferenceVector estimate);
 
-  const AttributeSeries<ChannelObservation>& channel() const { return channel_; }
-  const AttributeSeries<mobility::Position>& location() const { return location_; }
-  const AttributeSeries<WatchObservation>& watch() const { return watch_; }
-  const AttributeSeries<behavior::PreferenceVector>& preference() const {
-    return preference_;
-  }
+  ChannelSeries channel() const { return store_->channel(slot_); }
+  LocationSeries location() const { return store_->location(slot_); }
+  WatchSeries watch() const { return store_->watch(slot_); }
+  PreferenceSeries preference() const { return store_->preference(slot_); }
 
   /// Running preference estimator fed by watch ingestion (the twin-side
   /// "preference label + engagement time" update).
   const behavior::PreferenceEstimator& preference_estimator() const {
-    return pref_estimator_;
+    return store_->estimator(slot_);
   }
   /// Applies interval forgetting to the preference estimator.
   void decay_preference();
 
   /// Number of feature channels produced by feature_window().
-  static constexpr std::size_t kFeatureChannels = 5 + video::kCategoryCount;
+  static constexpr std::size_t kFeatureChannels = TwinColumnStore::kFeatureChannels;
 
   /// Builds the [kFeatureChannels × timesteps] time-series feature window
   /// ending at `now` and spanning `window_s` seconds, resampled to
@@ -81,7 +72,9 @@ class UserDigitalTwin {
   ///   2: normalised x              3: normalised y
   ///   4: mean watch fraction       5..: preference weight per category
   /// Empty bins carry the previous bin's value (zero-order hold; zeros
-  /// before the first sample).
+  /// before the first sample). Batch consumers should prefer
+  /// TwinColumnStore::feature_windows (pooled, incremental); this per-twin
+  /// call extracts one fresh row.
   std::vector<float> feature_window(util::SimTime now, double window_s,
                                     std::size_t timesteps,
                                     const FeatureScaling& scaling) const;
@@ -91,13 +84,15 @@ class UserDigitalTwin {
   std::vector<double> summary_features(util::SimTime now, double window_s,
                                        const FeatureScaling& scaling) const;
 
+  /// The columnar store backing this twin and the slot inside it.
+  const TwinColumnStore& columns() const { return *store_; }
+  std::size_t slot() const { return slot_; }
+
  private:
   std::uint64_t user_id_;
-  AttributeSeries<ChannelObservation> channel_;
-  AttributeSeries<mobility::Position> location_;
-  AttributeSeries<WatchObservation> watch_;
-  AttributeSeries<behavior::PreferenceVector> preference_;
-  behavior::PreferenceEstimator pref_estimator_;
+  std::size_t slot_;
+  TwinColumnStore* store_;
+  std::unique_ptr<TwinColumnStore> owned_;  // standalone twins only
 };
 
 }  // namespace dtmsv::twin

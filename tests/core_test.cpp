@@ -131,8 +131,12 @@ TEST(FeatureCompressor, WindowSizeMismatchRejected) {
 
 TEST(FeatureCompressor, EmptyInputRejected) {
   FeatureCompressor comp(small_compressor(), 6);
-  EXPECT_THROW(comp.embed({}), PreconditionError);
-  EXPECT_THROW(comp.fit({}), PreconditionError);
+  const std::vector<std::vector<float>> none;
+  EXPECT_THROW(comp.embed(none), PreconditionError);
+  EXPECT_THROW(comp.fit(none), PreconditionError);
+  // The zero-copy batch entry points reject empty batches the same way.
+  EXPECT_THROW(comp.embed(dtmsv::twin::WindowBatch{}), PreconditionError);
+  EXPECT_THROW(comp.fit(dtmsv::twin::WindowBatch{}), PreconditionError);
 }
 
 // -------------------------------------------------------- GroupConstructor

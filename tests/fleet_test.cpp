@@ -5,9 +5,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <vector>
 
 #include "core/fleet.hpp"
+#include "twin/column_store.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 
@@ -194,6 +196,59 @@ TEST(SimulationFleet, ChurnSwapsAffinitiesAndResetsTwins) {
   }
   EXPECT_GT(reset_twins, 0u);
   EXPECT_LE(reset_twins, handed);  // a slot can be handed over twice
+}
+
+TEST(SimulationFleet, ChurnRecyclingNeverLeaksHistoryIntoSnapshots) {
+  // A mobility_churn handover recycles the twin slot in place (columnar
+  // ring reset + dirty-watermark bump). The next incremental snapshot of
+  // each shard must refresh exactly the recycled slots — to all-zero
+  // windows — and serve every untouched user from the cached rows,
+  // bit-identically.
+  SimulationFleet fleet(fast_fleet(24, 2, 11));
+  fleet.run(2);  // build twin history first
+
+  const dtmsv::twin::FeatureScaling scaling{1200.0, 1000.0, 10.0, 40.0};
+  std::vector<dtmsv::twin::FeatureArena> arenas(fleet.shard_count());
+  std::vector<std::vector<float>> before(fleet.shard_count());
+  for (std::size_t s = 0; s < fleet.shard_count(); ++s) {
+    const dtmsv::twin::WindowSpec spec{fleet.shard(s).now(), 60.0, 16, scaling};
+    const auto batch =
+        fleet.shard(s).twins().columns().feature_windows(spec, arenas[s]);
+    before[s].assign(batch.data(),
+                     batch.data() + batch.size() * batch.window_size());
+  }
+
+  core::CollectingSink sink;
+  const std::size_t handed = fleet.churn(0.5, &sink);
+  ASSERT_GT(handed, 0u);
+  ASSERT_EQ(sink.handovers.size() * 2, handed);
+
+  std::vector<std::set<std::size_t>> recycled(fleet.shard_count());
+  for (const core::HandoverEvent& ev : sink.handovers) {
+    recycled[ev.shard_a].insert(ev.slot_a);
+    recycled[ev.shard_b].insert(ev.slot_b);
+  }
+  for (std::size_t s = 0; s < fleet.shard_count(); ++s) {
+    const auto& sim = fleet.shard(s);
+    const dtmsv::twin::WindowSpec spec{sim.now(), 60.0, 16, scaling};
+    const auto batch = sim.twins().columns().feature_windows(spec, arenas[s]);
+    // Exactly the recycled slots were dirty.
+    EXPECT_EQ(arenas[s].window_stats().refreshed, recycled[s].size());
+    for (std::size_t u = 0; u < batch.size(); ++u) {
+      const auto row = batch.row(u);
+      if (recycled[s].count(u) > 0) {
+        for (const float v : row) {
+          EXPECT_EQ(v, 0.0f) << "shard " << s << " slot " << u
+                             << " leaked history through a handover";
+        }
+        EXPECT_TRUE(sim.twins().twin(u).channel().empty());
+      } else {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          EXPECT_EQ(row[i], before[s][u * batch.window_size() + i]);
+        }
+      }
+    }
+  }
 }
 
 TEST(SimulationFleet, ChurnIsStrictlyInterCell) {

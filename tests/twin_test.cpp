@@ -1,17 +1,23 @@
 // Unit tests for dtmsv::twin — attribute-series semantics (ordering,
-// eviction, windows, staleness), UDT feature extraction, the twin store,
-// and the per-attribute collector including loss/latency failure injection.
+// eviction, windows, staleness, truncation reporting), the columnar
+// ring-buffer store (SoA layout, slot recycling, incremental arena
+// extraction and its thread-count invariance), UDT feature extraction,
+// the twin store, and the per-attribute collector including loss/latency
+// failure injection.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "behavior/session.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "twin/collector.hpp"
+#include "twin/column_store.hpp"
 #include "twin/series.hpp"
 #include "twin/store.hpp"
 #include "twin/udt.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "wireless/channel.hpp"
 
 namespace {
@@ -83,6 +89,220 @@ TEST(AttributeSeries, EmptyAccessRejected) {
 
 TEST(AttributeSeries, ZeroCapacityRejected) {
   EXPECT_THROW(AttributeSeries<int>(0), PreconditionError);
+}
+
+TEST(AttributeSeries, WindowQueryReportsCapacityTruncation) {
+  AttributeSeries<int> series(3);
+  for (int i = 0; i < 6; ++i) {
+    series.record(static_cast<double>(i), i);  // retained: t=3,4,5; evicted: 0,1,2
+  }
+  // A query starting inside the evicted range must say so instead of
+  // silently returning the shorter retained window.
+  EXPECT_TRUE(series.truncated_before(0.0));
+  EXPECT_TRUE(series.truncated_before(2.0));   // t=2 was evicted
+  EXPECT_FALSE(series.truncated_before(2.5));  // everything >= 2.5 retained
+  const auto truncated = series.window_query(0.0, 10.0);
+  EXPECT_TRUE(truncated.truncated);
+  ASSERT_EQ(truncated.samples.size(), 3u);
+  EXPECT_EQ(truncated.samples.front().value, 3);
+  const auto covered = series.window_query(3.0, 10.0);
+  EXPECT_FALSE(covered.truncated);
+  EXPECT_EQ(covered.samples.size(), 3u);
+  // Before any eviction, nothing is truncated.
+  AttributeSeries<int> fresh(8);
+  fresh.record(1.0, 1);
+  EXPECT_FALSE(fresh.truncated_before(0.0));
+  EXPECT_FALSE(fresh.window_query(0.0, 2.0).truncated);
+  // clear() forgets the eviction history along with the samples.
+  series.clear();
+  EXPECT_FALSE(series.truncated_before(0.0));
+}
+
+// ------------------------------------------------------- columnar rings
+
+TEST(TwinColumnStore, RingEvictsOldestAndReportsTruncation) {
+  TwinColumnStore store(2, /*history_capacity=*/3);
+  for (int i = 0; i < 6; ++i) {
+    store.record_channel(0, static_cast<double>(i), {static_cast<double>(i), 2.0, 0});
+  }
+  const ChannelSeries series = store.channel(0);
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_EQ(series.capacity(), 3u);
+  EXPECT_DOUBLE_EQ(series.oldest().time, 3.0);
+  EXPECT_DOUBLE_EQ(series.latest().value.snr_db, 5.0);
+  // Same truncation contract as AttributeSeries.
+  EXPECT_TRUE(series.truncated_before(2.0));
+  EXPECT_FALSE(series.truncated_before(3.0));
+  const auto query = series.window_query(0.0, 10.0);
+  EXPECT_TRUE(query.truncated);
+  ASSERT_EQ(query.samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(query.samples.front().value.snr_db, 3.0);
+  EXPECT_FALSE(series.window_query(3.0, 10.0).truncated);
+  // The neighbouring user's ring is untouched (fixed-stride slots).
+  EXPECT_TRUE(store.channel(1).empty());
+  EXPECT_FALSE(store.channel(1).truncated_before(0.0));
+}
+
+TEST(TwinColumnStore, RingRejectsTimeTravelPerUser) {
+  TwinColumnStore store(2, 4);
+  store.record_channel(0, 5.0, {1.0, 1.0, 0});
+  EXPECT_THROW(store.record_channel(0, 4.0, {1.0, 1.0, 0}), PreconditionError);
+  store.record_channel(0, 5.0, {2.0, 1.0, 0});  // equal timestamps allowed
+  store.record_channel(1, 1.0, {3.0, 1.0, 0});  // other users independent
+}
+
+TEST(TwinColumnStore, BatchRowsMatchPerTwinExtraction) {
+  TwinStore store(3);
+  const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  for (int t = 0; t < 30; ++t) {
+    store.twin(0).record_channel(t, {10.0 + t, 2.0, 0});
+    if (t % 3 == 0) {
+      store.twin(1).record_location(t, {50.0, 25.0});
+    }
+  }
+  WatchObservation w;
+  w.category = dtmsv::video::Category::kMusic;
+  w.watch_seconds = 12.0;
+  w.watch_fraction = 0.6;
+  store.twin(2).record_watch(5.0, w);
+
+  FeatureArena arena;
+  const WindowSpec spec{30.0, 30.0, 8, scaling};
+  const WindowBatch windows = store.columns().feature_windows(spec, arena);
+  const SummaryBatch summaries =
+      store.columns().summary_features({30.0, 30.0, scaling}, arena);
+  ASSERT_EQ(windows.size(), 3u);
+  ASSERT_EQ(summaries.size(), 3u);
+  for (std::size_t u = 0; u < 3; ++u) {
+    const auto row = windows.row(u);
+    const auto single = store.twin(u).feature_window(30.0, 30.0, 8, scaling);
+    ASSERT_EQ(row.size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(row[i], single[i]) << "user " << u << " element " << i;
+    }
+    const auto srow = summaries.row(u);
+    const auto ssingle = store.twin(u).summary_features(30.0, 30.0, scaling);
+    ASSERT_EQ(srow.size(), ssingle.size());
+    for (std::size_t i = 0; i < ssingle.size(); ++i) {
+      EXPECT_EQ(srow[i], ssingle[i]) << "user " << u << " element " << i;
+    }
+  }
+}
+
+TEST(TwinColumnStore, IncrementalExtractionRefreshesOnlyDirtyUsers) {
+  TwinStore store(6);
+  const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  for (std::size_t u = 0; u < 6; ++u) {
+    for (int t = 0; t < 50; ++t) {
+      store.twin(u).record_channel(t, {5.0 + static_cast<double>(u), 2.0, 0});
+    }
+  }
+  FeatureArena arena;
+  const WindowSpec spec{50.0, 50.0, 16, scaling};
+  store.columns().feature_windows(spec, arena);
+  EXPECT_EQ(arena.window_stats().refreshed, 6u);
+  EXPECT_EQ(arena.window_stats().reused, 0u);
+
+  // Unchanged store + unchanged geometry: every row is served from cache.
+  store.columns().feature_windows(spec, arena);
+  EXPECT_EQ(arena.window_stats().refreshed, 0u);
+  EXPECT_EQ(arena.window_stats().reused, 6u);
+
+  // Touch one user: only that row is re-extracted, and the batch is
+  // bit-identical to a from-scratch full extraction.
+  store.columns().record_channel(2, 49.5, {20.0, 3.0, 0});
+  const WindowBatch incremental = store.columns().feature_windows(spec, arena);
+  EXPECT_EQ(arena.window_stats().refreshed, 1u);
+  EXPECT_EQ(arena.window_stats().reused, 5u);
+  FeatureArena fresh;
+  const WindowBatch full =
+      store.columns().feature_windows(spec, fresh, /*force_full=*/true);
+  ASSERT_EQ(incremental.size(), full.size());
+  ASSERT_EQ(incremental.window_size(), full.window_size());
+  EXPECT_EQ(std::memcmp(incremental.data(), full.data(),
+                        full.size() * full.window_size() * sizeof(float)),
+            0);
+
+  // Moving the window geometry (a new `now`) invalidates every row.
+  const WindowSpec moved{51.0, 50.0, 16, scaling};
+  store.columns().feature_windows(moved, arena);
+  EXPECT_EQ(arena.window_stats().refreshed, 6u);
+}
+
+TEST(TwinColumnStore, HandoverSlotRecyclingLeavesNoHistoryBehind) {
+  TwinStore store(3);
+  const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  for (int t = 0; t < 40; ++t) {
+    store.twin(1).record_channel(t, {25.0, 4.0, 0});
+  }
+  WatchObservation w;
+  w.category = dtmsv::video::Category::kGame;
+  w.watch_seconds = 30.0;
+  w.watch_fraction = 0.9;
+  store.twin(1).record_watch(10.0, w);
+  store.twin(1).record_preference(20.0, store.twin(1).preference_estimator().estimate());
+
+  FeatureArena arena;
+  const WindowSpec spec{40.0, 40.0, 8, scaling};
+  const WindowBatch before = store.columns().feature_windows(spec, arena);
+  bool any_nonzero = false;
+  for (const float v : before.row(1)) {
+    any_nonzero |= v != 0.0f;
+  }
+  ASSERT_TRUE(any_nonzero);
+
+  // Handover: the slot is recycled in place — no history, no estimator
+  // evidence, no stale truncation flag, and the dirty watermark advances.
+  const std::uint64_t rev_before = store.columns().revision(1);
+  store.reset_user(1);
+  EXPECT_GT(store.columns().revision(1), rev_before);
+  EXPECT_TRUE(store.twin(1).channel().empty());
+  EXPECT_TRUE(store.twin(1).watch().empty());
+  EXPECT_TRUE(store.twin(1).preference().empty());
+  EXPECT_DOUBLE_EQ(store.twin(1).preference_estimator().evidence_seconds(), 0.0);
+  EXPECT_FALSE(store.twin(1).channel().truncated_before(0.0));
+
+  // The next incremental snapshot must not leak the previous user's rows:
+  // only the recycled slot refreshes, and it refreshes to all-zero.
+  const WindowBatch after = store.columns().feature_windows(spec, arena);
+  EXPECT_EQ(arena.window_stats().refreshed, 1u);
+  for (const float v : after.row(1)) {
+    EXPECT_EQ(v, 0.0f);
+  }
+  // Recording for the newcomer restarts cleanly from an empty ring.
+  store.twin(1).record_channel(41.0, {12.0, 2.0, 0});
+  EXPECT_EQ(store.twin(1).channel().size(), 1u);
+}
+
+TEST(TwinColumnStore, IncrementalExtractionThreadCountInvariant) {
+  const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
+  const WindowSpec spec{60.0, 60.0, 16, scaling};
+  const auto run_with_threads = [&](std::size_t threads) {
+    dtmsv::util::set_thread_count(threads);
+    TwinStore store(64);
+    for (std::size_t u = 0; u < 64; ++u) {
+      for (int t = 0; t < 60; ++t) {
+        store.twin(u).record_channel(
+            t, {5.0 + 0.1 * static_cast<double>(u * 60 + t), 2.0, 0});
+      }
+    }
+    FeatureArena arena;
+    store.columns().feature_windows(spec, arena);
+    for (std::size_t u = 0; u < 64; u += 7) {
+      store.columns().record_channel(u, 59.5, {30.0, 5.0, 0});
+    }
+    const WindowBatch batch = store.columns().feature_windows(spec, arena);
+    std::vector<float> bytes(batch.data(),
+                             batch.data() + batch.size() * batch.window_size());
+    dtmsv::util::set_thread_count(0);  // restore env/hardware default
+    return bytes;
+  };
+  const auto single = run_with_threads(1);
+  const auto pooled = run_with_threads(5);
+  ASSERT_EQ(single.size(), pooled.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    ASSERT_EQ(single[i], pooled[i]) << "element " << i;
+  }
 }
 
 // -------------------------------------------------------------------- UDT
@@ -192,13 +412,27 @@ TEST(TwinStore, BulkFeatureExtraction) {
   TwinStore store(3);
   const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
   store.twin(0).record_channel(1.0, {20.0, 4.0, 0});
+  // The deprecated copying bridges stay for out-of-tree stages; they must
+  // forward to the columnar path (same values, legacy shape).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const auto windows = store.all_feature_windows(10.0, 10.0, 8, scaling);
+  const auto summaries = store.all_summary_features(10.0, 10.0, scaling);
+#pragma GCC diagnostic pop
   ASSERT_EQ(windows.size(), 3u);
   for (const auto& w : windows) {
     EXPECT_EQ(w.size(), UserDigitalTwin::kFeatureChannels * 8);
   }
-  const auto summaries = store.all_summary_features(10.0, 10.0, scaling);
   ASSERT_EQ(summaries.size(), 3u);
+  FeatureArena arena;
+  const WindowBatch batch =
+      store.columns().feature_windows({10.0, 10.0, 8, scaling}, arena);
+  for (std::size_t u = 0; u < 3; ++u) {
+    const auto row = batch.row(u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ(windows[u][i], row[i]);
+    }
+  }
 }
 
 TEST(TwinStore, DecayPreferencesAcrossAllTwins) {

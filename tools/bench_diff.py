@@ -133,11 +133,25 @@ def main():
     if only_current:
         print(f"\nonly in current (new): {', '.join(only_current)}")
 
+    annotate = os.environ.get("GITHUB_ACTIONS") == "true"
+    # A benchmark added by the PR has nothing to be compared against: call
+    # it out as informational (a notice, never a failure) instead of
+    # skipping it silently — the committed baseline needs refreshing to
+    # start gating it.
+    for name in only_current:
+        message = (
+            f"{name} is new — no entry in the committed baseline; reported "
+            f"informationally only (refresh the baseline to gate it)"
+        )
+        if annotate:
+            print(f"::notice title=new benchmark::{message}")
+        else:
+            print(f"note: {message}", file=sys.stderr)
+
     print(
         f"\n{len(shared)} compared, {len(regressions)} regression(s) beyond "
         f"{args.threshold:g}%, {len(improvements)} improvement(s) beyond it"
     )
-    annotate = os.environ.get("GITHUB_ACTIONS") == "true"
     for name, delta in regressions:
         message = (
             f"{name} regressed {delta:+.1f}% vs baseline "
