@@ -166,9 +166,17 @@ SimPlan load_plan(util::Config& config) {
             base.grouping.kmeans.restarts = config.get_size_or(
                 "grouping.kmeans_restarts", base.grouping.kmeans.restarts);
 
-            base.feature_stage = feature;
-            base.grouping_stage = grouping;
-            base.demand_stage = demand;
+            // Empty grid/stage values keep the SchemeConfig defaults (the
+            // paper wiring) — there is no empty-key fallback downstream.
+            if (!feature.empty()) {
+              base.feature_stage = feature;
+            }
+            if (!grouping.empty()) {
+              base.grouping_stage = grouping;
+            }
+            if (!demand.empty()) {
+              base.demand_stage = demand;
+            }
             base.fixed_k = config.get_size_or("stages.fixed_k", base.fixed_k);
             check_stage_keys(base);
 

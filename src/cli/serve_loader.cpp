@@ -1,0 +1,147 @@
+#include "cli/serve_loader.hpp"
+
+#include <algorithm>
+
+#include "core/pipeline.hpp"
+#include "util/error.hpp"
+
+namespace dtmsv::cli {
+
+namespace {
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace
+
+core::DegradationLevel parse_ladder_level(const std::string& item) {
+  core::DegradationLevel level;
+  level.name = item;
+  const std::size_t colon = item.find(':');
+  if (colon == std::string::npos) {
+    level.feature_stage = item;
+    level.full_extraction = false;
+  } else {
+    level.feature_stage = item.substr(0, colon);
+    const std::string mode = item.substr(colon + 1);
+    if (mode == "full") {
+      level.full_extraction = true;
+    } else if (mode == "incremental") {
+      level.full_extraction = false;
+    } else {
+      throw util::RuntimeError("serve.ladder item '" + item +
+                               "': expected 'key', 'key:full' or "
+                               "'key:incremental'");
+    }
+  }
+  if (level.feature_stage.empty()) {
+    throw util::RuntimeError("serve.ladder item '" + item +
+                             "' has an empty stage key");
+  }
+  return level;
+}
+
+ServePlan load_serve_plan(util::Config& config) {
+  ServePlan plan;
+  plan.threads = config.get_size_or("run.threads", 0);
+  plan.report_path = config.get_or("run.report", "");
+
+  core::SchemeConfig& scheme = plan.serve.scheme;
+  scheme.seed = config.get_uint64_or("serve.seed", scheme.seed);
+  scheme.user_count = config.get_size_or("serve.user_count", 240);
+  scheme.interval_s = config.get_double_or("serve.interval_s", 10.0);
+  scheme.demand.interval_s = scheme.interval_s;
+  // The serve loop never runs the tick simulator, but scheme validation
+  // requires tick_s <= interval_s; keep it consistent for short intervals.
+  scheme.tick_s = std::min(scheme.tick_s, scheme.interval_s);
+  scheme.warmup_intervals = 0;
+  scheme.feature_window_s =
+      config.get_double_or("serve.feature_window_s", scheme.feature_window_s);
+  scheme.feature_timesteps =
+      config.get_size_or("serve.feature_timesteps", scheme.feature_timesteps);
+  scheme.grouping_stage = config.get_or("serve.grouping", scheme.grouping_stage);
+  scheme.demand_stage = config.get_or("serve.demand", scheme.demand_stage);
+  scheme.fixed_k = config.get_size_or("serve.fixed_k", scheme.fixed_k);
+  scheme.session.engagement.catalog.videos_per_category = config.get_size_or(
+      "serve.videos_per_category",
+      scheme.session.engagement.catalog.videos_per_category);
+
+  const auto& registry = core::StageRegistry::instance();
+  if (!registry.has_grouping(scheme.grouping_stage)) {
+    throw util::RuntimeError("unknown grouping stage '" + scheme.grouping_stage +
+                             "' (known: " + join(registry.grouping_keys()) + ")");
+  }
+  if (!registry.has_demand(scheme.demand_stage)) {
+    throw util::RuntimeError("unknown demand stage '" + scheme.demand_stage +
+                             "' (known: " + join(registry.demand_keys()) + ")");
+  }
+
+  plan.intervals = config.get_size_or("serve.intervals", plan.intervals);
+  if (plan.intervals == 0) {
+    throw util::RuntimeError("serve.intervals must be positive");
+  }
+  plan.serve.deadline_ms = config.get_double_or("serve.deadline_ms", 50.0);
+  plan.serve.queue_capacity = config.get_size_or("serve.queue_capacity", 4096);
+
+  const std::vector<std::string> ladder = config.get_list("serve.ladder");
+  if (!ladder.empty()) {
+    plan.serve.degradation.ladder.clear();
+    for (const std::string& item : ladder) {
+      plan.serve.degradation.ladder.push_back(parse_ladder_level(item));
+    }
+  }
+  for (const core::DegradationLevel& level : plan.serve.degradation.ladder) {
+    if (!registry.has_feature(level.feature_stage)) {
+      throw util::RuntimeError("serve.ladder: unknown feature stage '" +
+                               level.feature_stage +
+                               "' (known: " + join(registry.feature_keys()) + ")");
+    }
+  }
+  plan.serve.degradation.step_down_after = config.get_size_or(
+      "serve.step_down_after", plan.serve.degradation.step_down_after);
+  plan.serve.degradation.step_up_after = config.get_size_or(
+      "serve.step_up_after", plan.serve.degradation.step_up_after);
+
+  core::ServeWorkloadConfig& workload = plan.workload;
+  workload.seed = config.get_uint64_or("workload.seed", workload.seed);
+  workload.user_count = scheme.user_count;
+  workload.channel_period_s =
+      config.get_double_or("workload.channel_period_s", workload.channel_period_s);
+  workload.location_period_s = config.get_double_or("workload.location_period_s",
+                                                    workload.location_period_s);
+  workload.watch_period_s =
+      config.get_double_or("workload.watch_period_s", workload.watch_period_s);
+  workload.affinity_concentration = config.get_double_or(
+      "workload.affinity_concentration", workload.affinity_concentration);
+  // The workload samples videos from the loop's catalog, so share its
+  // generation parameters; the walk extent matches the feature scaling.
+  workload.engagement = scheme.session.engagement;
+  workload.extent_x = plan.serve.scaling.pos_x_scale;
+  workload.extent_y = plan.serve.scaling.pos_y_scale;
+
+  plan.overload_start = config.get_size_or("workload.overload_start", 0);
+  plan.overload_intervals = config.get_size_or("workload.overload_intervals", 0);
+  plan.overload_multiplier =
+      config.get_double_or("workload.overload_multiplier", 1.0);
+  if (plan.overload_intervals > 0 && plan.overload_multiplier <= 0.0) {
+    throw util::RuntimeError("workload.overload_multiplier must be positive");
+  }
+
+  core::validate(plan.serve);
+
+  const std::vector<std::string> unread = config.unread_keys();
+  if (!unread.empty()) {
+    throw util::RuntimeError("unknown config key(s): " + join(unread));
+  }
+  return plan;
+}
+
+}  // namespace dtmsv::cli

@@ -127,6 +127,32 @@ void JsonReportSink::on_handover(const HandoverEvent& e) {
   ++handover_records_;
 }
 
+void JsonReportSink::on_degradation(const DegradationEvent& e) {
+  std::string line;
+  field(line, "type", json_string("degradation"));
+  field(line, "interval", std::to_string(e.interval));
+  field(line, "from_level", e.from_level);
+  field(line, "to_level", e.to_level);
+  field(line, "from_name", json_string(e.from_name));
+  field(line, "to_name", json_string(e.to_name));
+  field(line, "latency_ms", e.latency_ms);
+  field(line, "deadline_ms", e.deadline_ms);
+  field(line, "recovering", e.recovering);
+  out_ << line << "}\n";
+  ++degradation_records_;
+}
+
+void JsonReportSink::on_drop(const DropEvent& e) {
+  std::string line;
+  field(line, "type", json_string("drop"));
+  field(line, "interval", std::to_string(e.interval));
+  field(line, "dropped", std::to_string(e.dropped));
+  field(line, "queue_capacity", e.queue_capacity);
+  field(line, "queue_size", e.queue_size);
+  out_ << line << "}\n";
+  ++drop_records_;
+}
+
 void JsonReportSink::meta(
     const std::string& meta_type,
     const std::vector<std::pair<std::string, std::string>>& fields) {

@@ -22,6 +22,13 @@
 //   {"type":"handover","interval":I,"shard_a":A,"shard_b":B,
 //    "slot_a":SA,"slot_b":SB}
 //
+//   {"type":"degradation","interval":I,"from_level":L,"to_level":L,
+//    "from_name":"..","to_name":"..","latency_ms":..,"deadline_ms":..,
+//    "recovering":B}                           (serve mode, core/serve.hpp)
+//
+//   {"type":"drop","interval":I,"dropped":N,"queue_capacity":C,
+//    "queue_size":S}                           (serve mode, core/serve.hpp)
+//
 // Fleet interval reports arrive once per shard (the ReportSink contract);
 // consumers group records by "interval". meta() lets a driver prepend
 // arbitrary context records ({"type":"run",...}) to the same stream.
@@ -47,6 +54,8 @@ class JsonReportSink final : public ReportSink {
   void on_group(const GroupReport& group, util::IntervalId interval) override;
   void on_interval(const EpochReport& report) override;
   void on_handover(const HandoverEvent& event) override;
+  void on_degradation(const DegradationEvent& event) override;
+  void on_drop(const DropEvent& event) override;
 
   /// Writes one {"type":"meta_type", ...fields} record. Values must already
   /// be JSON literals (use json_string()/json_number() below); field order
@@ -57,9 +66,11 @@ class JsonReportSink final : public ReportSink {
   std::size_t group_records() const { return group_records_; }
   std::size_t interval_records() const { return interval_records_; }
   std::size_t handover_records() const { return handover_records_; }
+  std::size_t degradation_records() const { return degradation_records_; }
+  std::size_t drop_records() const { return drop_records_; }
   std::size_t record_count() const {
     return group_records_ + interval_records_ + handover_records_ +
-           meta_records_;
+           degradation_records_ + drop_records_ + meta_records_;
   }
 
  private:
@@ -67,6 +78,8 @@ class JsonReportSink final : public ReportSink {
   std::size_t group_records_ = 0;
   std::size_t interval_records_ = 0;
   std::size_t handover_records_ = 0;
+  std::size_t degradation_records_ = 0;
+  std::size_t drop_records_ = 0;
   std::size_t meta_records_ = 0;
 };
 

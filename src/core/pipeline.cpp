@@ -24,14 +24,15 @@ twin::WindowBatch TwinSnapshot::feature_windows() const {
                     "TwinSnapshot: feature_windows() needs a twin store and the "
                     "Simulation-owned arena");
   return twins->columns().feature_windows({now, window_s, timesteps, scaling},
-                                          *arena);
+                                          *arena, force_full);
 }
 
 twin::SummaryBatch TwinSnapshot::summary_features() const {
   DTMSV_EXPECTS_MSG(twins != nullptr && arena != nullptr,
                     "TwinSnapshot: summary_features() needs a twin store and the "
                     "Simulation-owned arena");
-  return twins->columns().summary_features({now, window_s, scaling}, *arena);
+  return twins->columns().summary_features({now, window_s, scaling}, *arena,
+                                           force_full);
 }
 
 clustering::Points to_points(const twin::SummaryBatch& batch) {
@@ -428,57 +429,21 @@ std::vector<std::string> StageRegistry::demand_keys() const {
 // ----------------------------------------------------------- key resolution
 
 std::string feature_stage_key(const SchemeConfig& config) {
-  if (!config.feature_stage.empty()) {
-    return config.feature_stage;
-  }
-  switch (config.feature_mode) {
-    case FeatureMode::kCnnEmbedding:
-      return "cnn";
-    case FeatureMode::kRawWindow:
-      return "raw";
-    case FeatureMode::kSummaryStats:
-      return "summary";
-  }
-  throw util::PreconditionError("unknown FeatureMode");
+  DTMSV_EXPECTS_MSG(!config.feature_stage.empty(),
+                    "SchemeConfig::feature_stage must name a registry key");
+  return config.feature_stage;
 }
 
 std::string grouping_stage_key(const SchemeConfig& config) {
-  if (!config.grouping_stage.empty()) {
-    return config.grouping_stage;
-  }
-  switch (config.k_mode) {
-    case KSelectionMode::kDdqn:
-      return "ddqn";
-    case KSelectionMode::kFixed:
-      return "fixed";
-    case KSelectionMode::kElbow:
-      return "elbow";
-    case KSelectionMode::kRandom:
-      return "random";
-    case KSelectionMode::kSilhouetteSweep:
-      return "silhouette";
-  }
-  throw util::PreconditionError("unknown KSelectionMode");
+  DTMSV_EXPECTS_MSG(!config.grouping_stage.empty(),
+                    "SchemeConfig::grouping_stage must name a registry key");
+  return config.grouping_stage;
 }
 
 std::string demand_stage_key(const SchemeConfig& config) {
-  if (!config.demand_stage.empty()) {
-    return config.demand_stage;
-  }
-  if (config.joint_group_efficiency) {
-    return "joint";
-  }
-  switch (config.channel_predictor) {
-    case ChannelPredictorKind::kLastValue:
-      return "last_value";
-    case ChannelPredictorKind::kEwma:
-      return "ewma";
-    case ChannelPredictorKind::kLinearTrend:
-      return "linear_trend";
-    case ChannelPredictorKind::kMean:
-      return "mean";
-  }
-  throw util::PreconditionError("unknown ChannelPredictorKind");
+  DTMSV_EXPECTS_MSG(!config.demand_stage.empty(),
+                    "SchemeConfig::demand_stage must name a registry key");
+  return config.demand_stage;
 }
 
 }  // namespace dtmsv::core

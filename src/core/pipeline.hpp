@@ -10,13 +10,15 @@
 //
 // Stages are selected by string key through the process-wide StageRegistry,
 // so alternative backends (the ablation baselines here, or out-of-tree
-// research variants) plug in without touching core::Simulation. The enum
-// fields on SchemeConfig (FeatureMode, KSelectionMode, ChannelPredictorKind)
-// are deprecated aliases that resolve to the registry keys below.
+// research variants) plug in without touching core::Simulation. The keys on
+// SchemeConfig (feature_stage / grouping_stage / demand_stage) are the only
+// selection mechanism; the pre-PR-3 enum aliases are gone (see
+// simulation.hpp for the migration note).
 //
 // Report delivery is streaming: a ReportSink observes per-group and
-// per-interval outcomes (and fleet handovers) as they are scored, so large
-// fleets never materialize per-shard report vectors just to aggregate them.
+// per-interval outcomes (plus fleet handovers and serve-mode degradation /
+// drop events) as they are scored, so large fleets never materialize
+// per-shard report vectors just to aggregate them.
 #pragma once
 
 #include <array>
@@ -97,6 +99,30 @@ struct HandoverEvent {
   std::size_t slot_b = 0;  // user slot handed over in shard_b
 };
 
+/// One serve-mode degradation-ladder transition (core/serve.hpp): the serve
+/// loop swapped pipeline fidelity in response to the deadline outcome of the
+/// interval that just fired.
+struct DegradationEvent {
+  util::IntervalId interval = 0;   // interval whose outcome triggered it
+  std::size_t from_level = 0;      // ladder indices (0 = full fidelity)
+  std::size_t to_level = 0;
+  std::string from_name;           // DegradationLevel::name
+  std::string to_name;
+  double latency_ms = 0.0;         // the triggering prediction's latency
+  double deadline_ms = 0.0;        // the budget it was measured against
+  bool recovering = false;         // true = stepping back up the ladder
+};
+
+/// Serve-mode admission-control sheds, aggregated since the previous report
+/// (one event per interval at most, so a sustained overload cannot flood
+/// the sink with per-event records).
+struct DropEvent {
+  util::IntervalId interval = 0;
+  std::uint64_t dropped = 0;       // events shed since the last DropEvent
+  std::size_t queue_capacity = 0;
+  std::size_t queue_size = 0;      // queue depth when the event was reported
+};
+
 /// Streaming observer of pipeline outcomes. All callbacks default to no-ops
 /// so sinks override only what they consume.
 ///
@@ -117,6 +143,8 @@ class ReportSink {
   }
   virtual void on_interval(const EpochReport& report) { (void)report; }
   virtual void on_handover(const HandoverEvent& event) { (void)event; }
+  virtual void on_degradation(const DegradationEvent& event) { (void)event; }
+  virtual void on_drop(const DropEvent& event) { (void)event; }
 
  protected:
   // Copyable for derived value-semantic sinks (series accumulators);
@@ -136,11 +164,17 @@ class CollectingSink final : public ReportSink {
   }
   void on_interval(const EpochReport& report) override { reports.push_back(report); }
   void on_handover(const HandoverEvent& event) override { handovers.push_back(event); }
+  void on_degradation(const DegradationEvent& event) override {
+    degradations.push_back(event);
+  }
+  void on_drop(const DropEvent& event) override { drops.push_back(event); }
 
   std::vector<EpochReport> reports;
   std::vector<GroupReport> groups;
   std::vector<util::IntervalId> group_intervals;
   std::vector<HandoverEvent> handovers;
+  std::vector<DegradationEvent> degradations;
+  std::vector<DropEvent> drops;
 };
 
 // ------------------------------------------------------------------- stages
@@ -161,6 +195,11 @@ struct TwinSnapshot {
   /// re-extracted) and alias it: they stay valid until the next extraction
   /// using the same arena — copy rows out if a stage keeps them.
   twin::FeatureArena* arena = nullptr;
+  /// Disables the arena's incremental cache for this extraction (every row
+  /// re-extracted). The result is bit-identical either way; the serve
+  /// loop's full-fidelity degradation rung sets it to model the cost of
+  /// full re-extraction under load.
+  bool force_full = false;
 
   /// All users' [kFeatureChannels x timesteps] windows, flat row-major.
   /// Requires `arena`; bit-identical to the per-twin feature_window rows.
@@ -328,9 +367,9 @@ class StageRegistry {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Registry key the configuration resolves to: the explicit
-/// SchemeConfig::*_stage string when set, otherwise the key aliased by the
-/// deprecated enum field.
+/// Registry key the configuration selects (the SchemeConfig::*_stage
+/// string, validated non-empty). Kept as the single lookup point so callers
+/// never read the config fields directly.
 std::string feature_stage_key(const SchemeConfig& config);
 std::string grouping_stage_key(const SchemeConfig& config);
 std::string demand_stage_key(const SchemeConfig& config);

@@ -39,29 +39,16 @@
 
 namespace dtmsv::core {
 
-/// Deprecated alias for the FeatureStage registry key (ablation ABL-CMP).
-/// Prefer SchemeConfig::feature_stage = "cnn" | "raw" | "summary".
-enum class FeatureMode {
-  kCnnEmbedding,  // paper: 1D-CNN autoencoder bottleneck ("cnn")
-  kRawWindow,     // flattened raw window, no compression ("raw")
-  kSummaryStats,  // hand-rolled summary statistics ("summary")
-};
-
-/// Deprecated alias for the GroupingStage registry key (ablation ABL-CLU).
-/// Prefer SchemeConfig::grouping_stage = "ddqn" | "fixed" | "elbow" |
-/// "random" | "silhouette".
-enum class KSelectionMode {
-  kDdqn,             // paper: DDQN-empowered ("ddqn")
-  kFixed,            // fixed K ("fixed")
-  kElbow,            // elbow heuristic sweep ("elbow")
-  kRandom,           // random K ("random")
-  kSilhouetteSweep,  // slow silhouette oracle ("silhouette")
-};
-
-/// Deprecated alias for the per-member DemandStage registry keys. Prefer
-/// SchemeConfig::demand_stage = "joint" | "last_value" | "ewma" |
-/// "linear_trend" | "mean".
-enum class ChannelPredictorKind { kLastValue, kEwma, kLinearTrend, kMean };
+// NOTE for out-of-tree code: the pre-PR-3 stage-selection enums
+// (core::FeatureMode, core::KSelectionMode, core::ChannelPredictorKind) and
+// the SchemeConfig fields that carried them (feature_mode, k_mode,
+// channel_predictor, joint_group_efficiency) were removed after one
+// deprecation cycle. Stage selection is registry-keys-only now: set
+// SchemeConfig::feature_stage = "cnn" | "raw" | "summary",
+// grouping_stage = "ddqn" | "fixed" | "elbow" | "random" | "silhouette",
+// demand_stage = "joint" | "last_value" | "ewma" | "linear_trend" | "mean"
+// (joint_group_efficiency=false used to mean demand_stage=channel_predictor
+// key; =true meant "joint"). See core/pipeline.hpp for the StageRegistry.
 
 /// Full scheme configuration (defaults reproduce the paper's setup).
 struct SchemeConfig {
@@ -93,25 +80,19 @@ struct SchemeConfig {
   /// preference tracking under non-stationary behaviour.
   double affinity_drift_rate = 0.0;
 
-  /// StageRegistry keys selecting the pipeline backends. Empty (default)
-  /// resolves through the deprecated enum aliases below, which reproduce
-  /// the paper ("cnn" + "ddqn" + "joint"). See core/pipeline.hpp.
-  std::string feature_stage;
-  std::string grouping_stage;
-  std::string demand_stage;
+  /// StageRegistry keys selecting the pipeline backends (the only stage
+  /// selection mechanism; see core/pipeline.hpp and the migration note at
+  /// the top of this header). Defaults reproduce the paper: "cnn" 1D-CNN
+  /// autoencoder features, "ddqn" DDQN-empowered K selection, and the
+  /// "joint" min-over-members demand forecast (unbiased for the multicast
+  /// accounting; the per-member "last_value"/"ewma"/"linear_trend"/"mean"
+  /// stages are the optimistically-biased ablation baselines).
+  std::string feature_stage = "cnn";
+  std::string grouping_stage = "ddqn";
+  std::string demand_stage = "joint";
 
-  /// Deprecated enum aliases (kept so existing configurations keep
-  /// compiling); ignored whenever the corresponding *_stage key is set.
-  FeatureMode feature_mode = FeatureMode::kCnnEmbedding;
-  KSelectionMode k_mode = KSelectionMode::kDdqn;
+  /// K used by the "fixed" grouping stage (ignored by the others).
   std::size_t fixed_k = 4;
-  ChannelPredictorKind channel_predictor = ChannelPredictorKind::kEwma;
-  /// Deprecated alias: when no demand_stage key is set, `true` resolves to
-  /// the "joint" stage (min-over-members series, harmonic mean — unbiased
-  /// for the multicast accounting) and `false` to the per-member predictor
-  /// stage named by `channel_predictor` (optimistically biased — kept for
-  /// the ablation bench).
-  bool joint_group_efficiency = true;
   /// Online residual calibration: the digital twin feeds the realized
   /// actual/predicted ratio back into the next interval's forecast (EWMA,
   /// clamped). Corrects the small structural biases a closed-form demand

@@ -30,36 +30,4 @@ const UserDigitalTwin& TwinStore::twin(std::uint64_t user_id) const {
 
 void TwinStore::decay_preferences() { columns_->decay_preferences(); }
 
-std::vector<std::vector<float>> TwinStore::all_feature_windows(
-    util::SimTime now, double window_s, std::size_t timesteps,
-    const FeatureScaling& scaling) const {
-  // Deprecated copying bridge: extract on the columnar path (a private
-  // arena, full extraction) and fan the flat matrix out into the legacy
-  // one-vector-per-user shape.
-  FeatureArena arena;
-  const WindowBatch batch = columns_->feature_windows(
-      {now, window_s, timesteps, scaling}, arena, /*force_full=*/true);
-  std::vector<std::vector<float>> out;
-  out.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const auto row = batch.row(i);
-    out.emplace_back(row.begin(), row.end());
-  }
-  return out;
-}
-
-std::vector<std::vector<double>> TwinStore::all_summary_features(
-    util::SimTime now, double window_s, const FeatureScaling& scaling) const {
-  FeatureArena arena;
-  const SummaryBatch batch = columns_->summary_features({now, window_s, scaling},
-                                                        arena, /*force_full=*/true);
-  std::vector<std::vector<double>> out;
-  out.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    const auto row = batch.row(i);
-    out.emplace_back(row.begin(), row.end());
-  }
-  return out;
-}
-
 }  // namespace dtmsv::twin

@@ -40,26 +40,14 @@ class TwinStore {
   void decay_preferences();
 
   /// The columnar engine: batch ingestion and pooled zero-copy extraction.
+  /// Batch feature extraction goes exclusively through this surface —
+  /// TwinColumnStore::feature_windows / summary_features into a
+  /// FeatureArena (or core::TwinSnapshot, which wraps them). The copying
+  /// all_feature_windows / all_summary_features bridges were removed after
+  /// one deprecation cycle; WindowBatch / SummaryBatch views are the only
+  /// supported bulk path.
   TwinColumnStore& columns() { return *columns_; }
   const TwinColumnStore& columns() const { return *columns_; }
-
-  /// Extracts the CNN feature windows of all users, stacked row-major as
-  /// [user][channel*timesteps]; see UserDigitalTwin::feature_window.
-  [[deprecated(
-      "copies one vector per user; use TwinColumnStore::feature_windows via "
-      "columns() or core::TwinSnapshot::feature_windows() for the pooled "
-      "zero-copy path")]]
-  std::vector<std::vector<float>> all_feature_windows(
-      util::SimTime now, double window_s, std::size_t timesteps,
-      const FeatureScaling& scaling) const;
-
-  /// Extracts summary features of all users.
-  [[deprecated(
-      "copies one vector per user; use TwinColumnStore::summary_features via "
-      "columns() or core::TwinSnapshot::summary_features() for the pooled "
-      "zero-copy path")]]
-  std::vector<std::vector<double>> all_summary_features(
-      util::SimTime now, double window_s, const FeatureScaling& scaling) const;
 
  private:
   std::unique_ptr<TwinColumnStore> columns_;

@@ -230,18 +230,18 @@ TEST(Simulation, RecommendationsServeGroupTaste) {
 
 // -------------------------------------------- alternative pipeline variants
 
-TEST(SimulationVariants, RawWindowFeatureMode) {
+TEST(SimulationVariants, RawWindowFeatureStage) {
   SchemeConfig cfg = fast_config(25);
-  cfg.feature_mode = core::FeatureMode::kRawWindow;
+  cfg.feature_stage = "raw";
   Simulation sim(cfg);
   const auto reports = sim.run(3);
   EXPECT_TRUE(reports[2].grouped);
   EXPECT_EQ(reports[2].reconstruction_loss, 0.0f);  // no CNN in this mode
 }
 
-TEST(SimulationVariants, SummaryStatsFeatureMode) {
+TEST(SimulationVariants, SummaryStatsFeatureStage) {
   SchemeConfig cfg = fast_config(27);
-  cfg.feature_mode = core::FeatureMode::kSummaryStats;
+  cfg.feature_stage = "summary";
   Simulation sim(cfg);
   const auto reports = sim.run(3);
   EXPECT_TRUE(reports[2].grouped);
@@ -249,7 +249,7 @@ TEST(SimulationVariants, SummaryStatsFeatureMode) {
 
 TEST(SimulationVariants, FixedKMode) {
   SchemeConfig cfg = fast_config(29);
-  cfg.k_mode = core::KSelectionMode::kFixed;
+  cfg.grouping_stage = "fixed";
   cfg.fixed_k = 3;
   Simulation sim(cfg);
   const auto reports = sim.run(3);
@@ -257,31 +257,29 @@ TEST(SimulationVariants, FixedKMode) {
   EXPECT_EQ(sim.group_count(), 3u);
 }
 
-TEST(SimulationVariants, RandomKMode) {
+TEST(SimulationVariants, RandomKStage) {
   SchemeConfig cfg = fast_config(31);
-  cfg.k_mode = core::KSelectionMode::kRandom;
+  cfg.grouping_stage = "random";
   Simulation sim(cfg);
   const auto reports = sim.run(3);
   EXPECT_GE(reports[2].k, cfg.grouping.k_min);
   EXPECT_LE(reports[2].k, cfg.grouping.k_max);
 }
 
-TEST(SimulationVariants, ElbowKMode) {
+TEST(SimulationVariants, ElbowKStage) {
   SchemeConfig cfg = fast_config(33);
-  cfg.k_mode = core::KSelectionMode::kElbow;
+  cfg.grouping_stage = "elbow";
   cfg.user_count = 24;  // keep the elbow sweep cheap
   Simulation sim(cfg);
   const auto reports = sim.run(3);
   EXPECT_TRUE(reports[2].grouped);
 }
 
-TEST(SimulationVariants, ChannelPredictorKinds) {
-  for (const auto kind :
-       {core::ChannelPredictorKind::kLastValue, core::ChannelPredictorKind::kEwma,
-        core::ChannelPredictorKind::kLinearTrend, core::ChannelPredictorKind::kMean}) {
+TEST(SimulationVariants, PerMemberDemandStages) {
+  for (const std::string key : {"last_value", "ewma", "linear_trend", "mean"}) {
     SchemeConfig cfg = fast_config(35);
     cfg.user_count = 20;
-    cfg.channel_predictor = kind;
+    cfg.demand_stage = key;
     Simulation sim(cfg);
     const auto reports = sim.run(2);
     EXPECT_TRUE(reports[1].grouped);
@@ -321,7 +319,7 @@ TEST(Simulation, ModelLoadRejectsWrongConfiguration) {
   with_cnn.save_models(models);
 
   SchemeConfig raw_cfg = fast_config(53);
-  raw_cfg.feature_mode = core::FeatureMode::kRawWindow;  // no CNN
+  raw_cfg.feature_stage = "raw";  // no CNN
   Simulation without_cnn(raw_cfg);
   EXPECT_THROW(without_cnn.load_models(models), util::RuntimeError);
 }

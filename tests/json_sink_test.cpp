@@ -155,6 +155,46 @@ TEST(JsonReportSink, EveryLineIsASingleJsonObject) {
   EXPECT_EQ(lines, json.record_count());
 }
 
+TEST(JsonReportSink, DegradationAndDropRecords) {
+  std::ostringstream out;
+  core::JsonReportSink sink(out);
+
+  core::DegradationEvent degradation;
+  degradation.interval = 4;
+  degradation.from_level = 0;
+  degradation.to_level = 1;
+  degradation.from_name = "cnn_full";
+  degradation.to_name = "cnn_incremental";
+  degradation.latency_ms = 72.5;
+  degradation.deadline_ms = 50.0;
+  degradation.recovering = false;
+  sink.on_degradation(degradation);
+
+  core::DropEvent drop;
+  drop.interval = 5;
+  drop.dropped = 1234;
+  drop.queue_capacity = 2048;
+  drop.queue_size = 2048;
+  sink.on_drop(drop);
+
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"type\":\"degradation\",\"interval\":4,\"from_level\":0,"
+            "\"to_level\":1,\"from_name\":\"cnn_full\","
+            "\"to_name\":\"cnn_incremental\",\"latency_ms\":72.5,"
+            "\"deadline_ms\":50,\"recovering\":false}");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line,
+            "{\"type\":\"drop\",\"interval\":5,\"dropped\":1234,"
+            "\"queue_capacity\":2048,\"queue_size\":2048}");
+  EXPECT_FALSE(std::getline(in, line));
+  EXPECT_EQ(sink.degradation_records(), 1u);
+  EXPECT_EQ(sink.drop_records(), 1u);
+  EXPECT_EQ(sink.record_count(), 2u);
+}
+
 TEST(JsonReportSink, MetaRecordsAndEscaping) {
   std::ostringstream out;
   core::JsonReportSink sink(out);

@@ -91,30 +91,26 @@ TEST(StageRegistry, DuplicateRegistrationThrows) {
                util::RuntimeError);
 }
 
-TEST(StageRegistry, EnumAliasesResolveToKeys) {
+TEST(StageRegistry, DefaultKeysArePaperWiring) {
   SchemeConfig cfg;
   EXPECT_EQ(core::feature_stage_key(cfg), "cnn");
   EXPECT_EQ(core::grouping_stage_key(cfg), "ddqn");
   EXPECT_EQ(core::demand_stage_key(cfg), "joint");
 
-  cfg.feature_mode = core::FeatureMode::kSummaryStats;
-  cfg.k_mode = core::KSelectionMode::kElbow;
-  cfg.joint_group_efficiency = false;
-  cfg.channel_predictor = core::ChannelPredictorKind::kLinearTrend;
-  EXPECT_EQ(core::feature_stage_key(cfg), "summary");
-  EXPECT_EQ(core::grouping_stage_key(cfg), "elbow");
-  EXPECT_EQ(core::demand_stage_key(cfg), "linear_trend");
-
-  // Explicit keys win over the deprecated enum aliases.
   cfg.feature_stage = "raw";
   cfg.grouping_stage = "random";
   cfg.demand_stage = "mean";
   EXPECT_EQ(core::feature_stage_key(cfg), "raw");
   EXPECT_EQ(core::grouping_stage_key(cfg), "random");
   EXPECT_EQ(core::demand_stage_key(cfg), "mean");
+
+  // Keys are registry-only now: an emptied key is a precondition error,
+  // not a fallback to some implicit default.
+  cfg.feature_stage.clear();
+  EXPECT_THROW(core::feature_stage_key(cfg), util::PreconditionError);
 }
 
-// ------------------------------------------------ enum/key bit-equivalence
+// ------------------------------------------------ default/key bit-equivalence
 
 void expect_reports_identical(const std::vector<EpochReport>& a,
                               const std::vector<EpochReport>& b) {
@@ -132,28 +128,13 @@ void expect_reports_identical(const std::vector<EpochReport>& a,
   }
 }
 
-TEST(PipelineEquivalence, ExplicitKeysMatchEnumAliasesPaperCombo) {
-  SchemeConfig via_enums = golden_config();
+TEST(PipelineEquivalence, ExplicitKeysMatchDefaultsPaperCombo) {
+  SchemeConfig via_defaults = golden_config();
   SchemeConfig via_keys = golden_config();
   via_keys.feature_stage = "cnn";
   via_keys.grouping_stage = "ddqn";
   via_keys.demand_stage = "joint";
-  Simulation a(via_enums);
-  Simulation b(via_keys);
-  expect_reports_identical(a.run(6), b.run(6));
-}
-
-TEST(PipelineEquivalence, ExplicitKeysMatchEnumAliasesAblationCombo) {
-  SchemeConfig via_enums = golden_config();
-  via_enums.feature_mode = core::FeatureMode::kSummaryStats;
-  via_enums.k_mode = core::KSelectionMode::kElbow;
-  via_enums.joint_group_efficiency = false;
-  via_enums.channel_predictor = core::ChannelPredictorKind::kMean;
-  SchemeConfig via_keys = golden_config();
-  via_keys.feature_stage = "summary";
-  via_keys.grouping_stage = "elbow";
-  via_keys.demand_stage = "mean";
-  Simulation a(via_enums);
+  Simulation a(via_defaults);
   Simulation b(via_keys);
   expect_reports_identical(a.run(6), b.run(6));
 }
@@ -250,10 +231,9 @@ TEST(PipelineRegression, DefaultRegistryReproducesSeedPathAblationCombo) {
        24228575455.32579, 22206937923.813404},
   };
   SchemeConfig cfg = golden_config(42);
-  cfg.feature_mode = core::FeatureMode::kSummaryStats;
-  cfg.k_mode = core::KSelectionMode::kElbow;
-  cfg.joint_group_efficiency = false;
-  cfg.channel_predictor = core::ChannelPredictorKind::kMean;
+  cfg.feature_stage = "summary";
+  cfg.grouping_stage = "elbow";
+  cfg.demand_stage = "mean";
   Simulation sim(cfg);
   expect_matches_golden(sim.run(6), golden);
 }

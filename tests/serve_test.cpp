@@ -1,0 +1,501 @@
+// Serving-mode tests: EventQueue backpressure, DegradationPolicy ladder
+// bookkeeping, ServeLoop deadline/degradation behaviour under a scripted
+// ManualServeClock (bit-deterministic for any DTMSV_THREADS — the wall
+// clock only decides fidelity, never arithmetic), ServeWorkload
+// reproducibility, and the [serve] config loader.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cli/serve_loader.hpp"
+#include "core/event_queue.hpp"
+#include "core/pipeline.hpp"
+#include "core/serve.hpp"
+#include "core/serve_workload.hpp"
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace dtmsv;
+
+core::TwinEvent channel_at(std::uint32_t user, double time, double snr_db = 15.0) {
+  twin::ChannelObservation obs;
+  obs.snr_db = snr_db;
+  obs.efficiency_bps_hz = 3.0;
+  return core::TwinEvent::channel_report(user, time, obs);
+}
+
+// ------------------------------------------------------------- EventQueue
+
+TEST(EventQueue, DrainsInArrivalOrderUpToHorizon) {
+  core::EventQueue queue(8);
+  for (int i = 0; i < 5; ++i) {
+    queue.push(channel_at(static_cast<std::uint32_t>(i), 1.0 * i));
+  }
+  std::vector<std::uint32_t> drained_users;
+  const std::size_t drained = queue.drain_until(
+      2.5, [&](const core::TwinEvent& e) { drained_users.push_back(e.user); });
+  EXPECT_EQ(drained, 3u);
+  EXPECT_EQ(drained_users, (std::vector<std::uint32_t>{0, 1, 2}));
+  EXPECT_EQ(queue.size(), 2u);
+  // Remaining events (t=3, t=4) drain on the next horizon.
+  EXPECT_EQ(queue.drain_until(10.0, [](const core::TwinEvent&) {}), 2u);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.stats().offered, 5u);
+  EXPECT_EQ(queue.stats().drained, 5u);
+  EXPECT_EQ(queue.stats().dropped, 0u);
+}
+
+TEST(EventQueue, ShedsOldestWithExactCounts) {
+  core::EventQueue queue(4);
+  for (int i = 0; i < 7; ++i) {
+    queue.push(channel_at(static_cast<std::uint32_t>(i), 1.0 * i));
+  }
+  // Capacity 4, 7 offered: users 0..2 shed, 3..6 retained.
+  EXPECT_EQ(queue.size(), 4u);
+  EXPECT_EQ(queue.stats().offered, 7u);
+  EXPECT_EQ(queue.stats().dropped, 3u);
+  std::vector<std::uint32_t> survivors;
+  queue.drain_until(100.0,
+                    [&](const core::TwinEvent& e) { survivors.push_back(e.user); });
+  EXPECT_EQ(survivors, (std::vector<std::uint32_t>{3, 4, 5, 6}));
+}
+
+TEST(EventQueue, RejectsOutOfOrderPushAndZeroCapacity) {
+  EXPECT_THROW(core::EventQueue(0), util::PreconditionError);
+  core::EventQueue queue(4);
+  queue.push(channel_at(0, 5.0));
+  EXPECT_THROW(queue.push(channel_at(1, 4.0)), util::PreconditionError);
+  queue.push(channel_at(1, 5.0));  // ties are fine
+}
+
+// ------------------------------------------------------ DegradationPolicy
+
+TEST(DegradationPolicy, StepsDownOneRungPerMissStreak) {
+  core::DegradationPolicyConfig cfg;  // default 3-rung ladder
+  cfg.step_down_after = 2;
+  core::DegradationPolicy policy(cfg);
+  EXPECT_EQ(policy.level(), 0u);
+  EXPECT_EQ(policy.record(false), std::nullopt);  // 1 miss: below threshold
+  EXPECT_EQ(policy.record(false), std::optional<std::size_t>(1));
+  EXPECT_EQ(policy.current().name, "cnn_incremental");
+  // The counter resets after a transition: two more misses for the next rung.
+  EXPECT_EQ(policy.record(false), std::nullopt);
+  EXPECT_EQ(policy.record(false), std::optional<std::size_t>(2));
+  EXPECT_EQ(policy.current().name, "summary");
+  // Clamped at the bottom rung.
+  EXPECT_EQ(policy.record(false), std::nullopt);
+  EXPECT_EQ(policy.record(false), std::nullopt);
+  EXPECT_EQ(policy.level(), 2u);
+}
+
+TEST(DegradationPolicy, RecoversAfterSustainedHitsAndClampsAtTop) {
+  core::DegradationPolicyConfig cfg;
+  cfg.step_down_after = 1;
+  cfg.step_up_after = 3;
+  core::DegradationPolicy policy(cfg);
+  policy.record(false);
+  policy.record(false);
+  ASSERT_EQ(policy.level(), 2u);
+  EXPECT_EQ(policy.record(true), std::nullopt);
+  EXPECT_EQ(policy.record(true), std::nullopt);
+  EXPECT_EQ(policy.record(true), std::optional<std::size_t>(1));
+  // A miss resets the hit streak (and immediately steps back down here).
+  EXPECT_EQ(policy.record(false), std::optional<std::size_t>(2));
+  for (int i = 0; i < 6; ++i) {
+    policy.record(true);
+  }
+  ASSERT_EQ(policy.level(), 0u);
+  // Clamped at full fidelity.
+  EXPECT_EQ(policy.record(true), std::nullopt);
+  EXPECT_EQ(policy.record(true), std::nullopt);
+  EXPECT_EQ(policy.record(true), std::nullopt);
+  EXPECT_EQ(policy.level(), 0u);
+}
+
+TEST(DegradationPolicy, RejectsEmptyLadderAndZeroHysteresis) {
+  core::DegradationPolicyConfig empty;
+  empty.ladder.clear();
+  EXPECT_THROW(core::DegradationPolicy{empty}, util::PreconditionError);
+  core::DegradationPolicyConfig zero;
+  zero.step_down_after = 0;
+  EXPECT_THROW(core::DegradationPolicy{zero}, util::PreconditionError);
+}
+
+// -------------------------------------------------------------- utilities
+
+TEST(LatencyPercentile, NearestRank) {
+  const std::vector<double> values = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(core::latency_percentile(values, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(core::latency_percentile(values, 95.0), 5.0);
+  EXPECT_DOUBLE_EQ(core::latency_percentile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(core::latency_percentile(values, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(core::latency_percentile({}, 50.0), 0.0);
+}
+
+TEST(ManualServeClock, ScriptsPipelineCosts) {
+  core::ManualServeClock clock;
+  clock.queue_pipeline_cost(0.2);
+  const double t0 = clock.now_s();
+  const double t1 = clock.now_s();
+  EXPECT_DOUBLE_EQ(t1 - t0, 0.2);
+  // Queue exhausted: default_step applies.
+  clock.default_step = 0.001;
+  const double t2 = clock.now_s();
+  EXPECT_DOUBLE_EQ(t2 - t1, 0.001);
+}
+
+// --------------------------------------------------------------- ServeLoop
+
+core::ServeConfig small_serve(std::size_t users = 12) {
+  core::ServeConfig cfg;
+  cfg.scheme.seed = 11;
+  cfg.scheme.user_count = users;
+  cfg.scheme.interval_s = 10.0;
+  cfg.scheme.demand.interval_s = 10.0;
+  cfg.scheme.warmup_intervals = 0;
+  cfg.scheme.feature_window_s = 30.0;
+  cfg.scheme.feature_timesteps = 8;
+  cfg.scheme.session.engagement.catalog.videos_per_category = 3;
+  // Cheap deterministic non-feature stages: the ladder under test swaps
+  // feature stages only.
+  cfg.scheme.grouping_stage = "fixed";
+  cfg.scheme.fixed_k = 2;
+  cfg.scheme.demand_stage = "mean";
+  cfg.deadline_ms = 50.0;
+  return cfg;
+}
+
+/// Feeds `count` channel reports (one per user, round-robin) at time `t`.
+void offer_reports(core::ServeLoop& loop, double t, std::size_t count) {
+  const std::size_t users = loop.config().scheme.user_count;
+  for (std::size_t i = 0; i < count; ++i) {
+    loop.offer(channel_at(static_cast<std::uint32_t>(i % users), t));
+  }
+}
+
+TEST(ServeLoop, DegradesDownTheLadderInOrderUnderOverload) {
+  core::ServeConfig cfg = small_serve();
+  core::ManualServeClock clock;
+  core::CollectingSink sink;
+  core::ServeLoop loop(cfg, clock, &sink);
+
+  // Script 3 expensive predictions (200 ms against a 50 ms budget), then let
+  // default_step = 0 make everything after look instantaneous.
+  for (int i = 0; i < 3; ++i) {
+    clock.queue_pipeline_cost(0.2);
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    offer_reports(loop, 10.0 * static_cast<double>(i), 6);
+    loop.advance_to(10.0 * static_cast<double>(i + 1));
+  }
+
+  // step_down_after = 1: each miss steps exactly one rung, in ladder order
+  // cnn_full -> cnn_incremental -> summary.
+  ASSERT_EQ(sink.degradations.size(), 2u);
+  EXPECT_EQ(sink.degradations[0].from_name, "cnn_full");
+  EXPECT_EQ(sink.degradations[0].to_name, "cnn_incremental");
+  EXPECT_EQ(sink.degradations[0].interval, 0u);
+  EXPECT_FALSE(sink.degradations[0].recovering);
+  EXPECT_DOUBLE_EQ(sink.degradations[0].latency_ms, 200.0);
+  EXPECT_DOUBLE_EQ(sink.degradations[0].deadline_ms, 50.0);
+  EXPECT_EQ(sink.degradations[1].from_name, "cnn_incremental");
+  EXPECT_EQ(sink.degradations[1].to_name, "summary");
+  EXPECT_EQ(loop.degradation().level(), 2u);
+  EXPECT_EQ(loop.stats().deadline_misses, 3u);
+  EXPECT_EQ(loop.stats().steps_down, 2u);
+
+  // The cnn intervals carry a real autoencoder reconstruction loss; the
+  // summary rung has none — observable proof the feature stage swapped.
+  ASSERT_EQ(sink.reports.size(), 3u);
+  EXPECT_GT(sink.reports[0].reconstruction_loss, 0.0f);
+  EXPECT_GT(sink.reports[1].reconstruction_loss, 0.0f);
+
+  // One more interval fires on the summary rung (clock now instantaneous).
+  offer_reports(loop, 30.0, 6);
+  loop.advance_to(40.0);
+  ASSERT_EQ(sink.reports.size(), 4u);
+  EXPECT_FLOAT_EQ(sink.reports[3].reconstruction_loss, 0.0f);
+}
+
+TEST(ServeLoop, RecoversUpTheLadderAfterSustainedHits) {
+  core::ServeConfig cfg = small_serve();
+  cfg.degradation.step_up_after = 2;
+  core::ManualServeClock clock;
+  core::CollectingSink sink;
+  core::ServeLoop loop(cfg, clock, &sink);
+
+  // Two misses push the loop to the bottom rung; everything after hits.
+  clock.queue_pipeline_cost(0.2);
+  clock.queue_pipeline_cost(0.2);
+  for (std::size_t i = 0; i < 7; ++i) {
+    offer_reports(loop, 10.0 * static_cast<double>(i), 4);
+    loop.advance_to(10.0 * static_cast<double>(i + 1));
+  }
+
+  // Intervals 0,1 miss (down to summary); 2..3 hit -> up to cnn_incremental
+  // after interval 3; 4..5 hit -> up to cnn_full after interval 5.
+  ASSERT_EQ(sink.degradations.size(), 4u);
+  EXPECT_FALSE(sink.degradations[0].recovering);
+  EXPECT_FALSE(sink.degradations[1].recovering);
+  EXPECT_TRUE(sink.degradations[2].recovering);
+  EXPECT_EQ(sink.degradations[2].from_name, "summary");
+  EXPECT_EQ(sink.degradations[2].to_name, "cnn_incremental");
+  EXPECT_EQ(sink.degradations[2].interval, 3u);
+  EXPECT_TRUE(sink.degradations[3].recovering);
+  EXPECT_EQ(sink.degradations[3].to_name, "cnn_full");
+  EXPECT_EQ(loop.degradation().level(), 0u);
+  EXPECT_EQ(loop.stats().steps_down, 2u);
+  EXPECT_EQ(loop.stats().steps_up, 2u);
+}
+
+TEST(ServeLoop, QueueOverflowShedsOldestWithExactDropCounts) {
+  core::ServeConfig cfg = small_serve();
+  cfg.queue_capacity = 8;
+  core::ManualServeClock clock;
+  core::CollectingSink sink;
+  core::ServeLoop loop(cfg, clock, &sink);
+
+  offer_reports(loop, 1.0, 12);  // 12 offered into capacity 8
+  loop.advance_to(10.0);
+
+  EXPECT_EQ(loop.stats().events_ingested, 8u);
+  EXPECT_EQ(loop.stats().events_dropped, 4u);
+  ASSERT_EQ(sink.drops.size(), 1u);
+  EXPECT_EQ(sink.drops[0].interval, 0u);
+  EXPECT_EQ(sink.drops[0].dropped, 4u);
+  EXPECT_EQ(sink.drops[0].queue_capacity, 8u);
+  // All admitted events drained before the prediction fired.
+  EXPECT_EQ(sink.drops[0].queue_size, 0u);
+  EXPECT_EQ(loop.queue_size(), 0u);
+
+  // No further sheds: no second DropEvent.
+  offer_reports(loop, 11.0, 4);
+  loop.advance_to(20.0);
+  EXPECT_EQ(sink.drops.size(), 1u);
+  EXPECT_EQ(loop.stats().events_ingested, 12u);
+}
+
+TEST(ServeLoop, RejectsBadConfigAndBadEvents) {
+  core::ServeConfig cfg = small_serve();
+  cfg.deadline_ms = 0.0;
+  core::ManualServeClock clock;
+  EXPECT_THROW(core::ServeLoop(cfg, clock), util::PreconditionError);
+
+  cfg = small_serve();
+  cfg.degradation.ladder[1].feature_stage = "no-such-stage";
+  EXPECT_THROW(core::ServeLoop(cfg, clock), util::PreconditionError);
+
+  cfg = small_serve();
+  core::ServeLoop loop(cfg, clock);
+  EXPECT_THROW(loop.offer(channel_at(99, 1.0)), util::PreconditionError);
+  loop.advance_to(5.0);
+  EXPECT_THROW(loop.advance_to(4.0), util::PreconditionError);
+}
+
+/// Runs the scripted overload scenario end to end and returns the sink.
+core::CollectingSink run_serve_scenario(std::size_t threads) {
+  util::set_thread_count(threads);
+  core::ServeConfig cfg = small_serve(24);
+  core::ManualServeClock clock;
+  clock.queue_pipeline_cost(0.2);
+  clock.queue_pipeline_cost(0.2);
+  core::CollectingSink sink;
+  core::ServeLoop loop(cfg, clock, &sink);
+  core::ServeWorkloadConfig wl_cfg;
+  wl_cfg.seed = 5;
+  wl_cfg.user_count = cfg.scheme.user_count;
+  wl_cfg.engagement = cfg.scheme.session.engagement;
+  core::ServeWorkload workload(wl_cfg, loop.catalog());
+  std::vector<core::TwinEvent> events;
+  for (std::size_t i = 0; i < 5; ++i) {
+    events.clear();
+    workload.generate(10.0 * static_cast<double>(i),
+                      10.0 * static_cast<double>(i + 1), events);
+    for (const core::TwinEvent& e : events) {
+      loop.offer(e);
+    }
+    loop.advance_to(10.0 * static_cast<double>(i + 1));
+  }
+  util::set_thread_count(0);
+  return sink;
+}
+
+TEST(ServeLoop, ResultsAreBitIdenticalForAnyThreadCount) {
+  const core::CollectingSink one = run_serve_scenario(1);
+  const core::CollectingSink four = run_serve_scenario(4);
+
+  ASSERT_EQ(one.reports.size(), four.reports.size());
+  for (std::size_t i = 0; i < one.reports.size(); ++i) {
+    EXPECT_EQ(one.reports[i].k, four.reports[i].k);
+    EXPECT_EQ(one.reports[i].reconstruction_loss,
+              four.reports[i].reconstruction_loss);
+    EXPECT_EQ(one.reports[i].predicted_radio_hz_total,
+              four.reports[i].predicted_radio_hz_total);
+    EXPECT_EQ(one.reports[i].predicted_compute_total,
+              four.reports[i].predicted_compute_total);
+  }
+  ASSERT_EQ(one.groups.size(), four.groups.size());
+  for (std::size_t i = 0; i < one.groups.size(); ++i) {
+    EXPECT_EQ(one.groups[i].predicted_efficiency,
+              four.groups[i].predicted_efficiency);
+    EXPECT_EQ(one.groups[i].predicted_radio_hz, four.groups[i].predicted_radio_hz);
+  }
+  // The fidelity trajectory is part of the deterministic contract too.
+  ASSERT_EQ(one.degradations.size(), four.degradations.size());
+  for (std::size_t i = 0; i < one.degradations.size(); ++i) {
+    EXPECT_EQ(one.degradations[i].to_name, four.degradations[i].to_name);
+    EXPECT_EQ(one.degradations[i].interval, four.degradations[i].interval);
+  }
+}
+
+// ------------------------------------------------------------ ServeWorkload
+
+video::Catalog test_catalog(std::uint64_t seed = 3) {
+  util::Rng rng(seed);
+  video::CatalogConfig cfg;
+  cfg.videos_per_category = 3;
+  return video::Catalog::generate(cfg, rng);
+}
+
+TEST(ServeWorkload, StreamIsReproducibleAndTimeOrdered) {
+  const video::Catalog catalog = test_catalog();
+  core::ServeWorkloadConfig cfg;
+  cfg.user_count = 10;
+  core::ServeWorkload a(cfg, catalog);
+  core::ServeWorkload b(cfg, catalog);
+  std::vector<core::TwinEvent> ea;
+  std::vector<core::TwinEvent> eb;
+  a.generate(0.0, 30.0, ea);
+  b.generate(0.0, 30.0, eb);
+
+  ASSERT_FALSE(ea.empty());
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].kind, eb[i].kind);
+    EXPECT_EQ(ea[i].user, eb[i].user);
+    EXPECT_EQ(ea[i].time, eb[i].time);
+    EXPECT_EQ(ea[i].channel.snr_db, eb[i].channel.snr_db);
+    EXPECT_EQ(ea[i].watch.video_id, eb[i].watch.video_id);
+  }
+  for (std::size_t i = 1; i < ea.size(); ++i) {
+    EXPECT_LE(ea[i - 1].time, ea[i].time);
+  }
+}
+
+TEST(ServeWorkload, WindowSlicingDoesNotChangeTheStream) {
+  const video::Catalog catalog = test_catalog();
+  core::ServeWorkloadConfig cfg;
+  cfg.user_count = 8;
+  core::ServeWorkload whole(cfg, catalog);
+  core::ServeWorkload sliced(cfg, catalog);
+  std::vector<core::TwinEvent> ew;
+  std::vector<core::TwinEvent> es;
+  whole.generate(0.0, 40.0, ew);
+  for (int i = 0; i < 4; ++i) {
+    sliced.generate(10.0 * i, 10.0 * (i + 1), es);
+  }
+  ASSERT_EQ(ew.size(), es.size());
+  for (std::size_t i = 0; i < ew.size(); ++i) {
+    EXPECT_EQ(ew[i].user, es[i].user);
+    EXPECT_EQ(ew[i].time, es[i].time);
+    EXPECT_EQ(ew[i].kind, es[i].kind);
+  }
+}
+
+TEST(ServeWorkload, RateMultiplierScalesEventVolume) {
+  const video::Catalog catalog = test_catalog();
+  core::ServeWorkloadConfig cfg;
+  cfg.user_count = 12;
+  core::ServeWorkload steady(cfg, catalog);
+  core::ServeWorkload surging(cfg, catalog);
+  surging.set_rate_multiplier(4.0);
+  std::vector<core::TwinEvent> e_steady;
+  std::vector<core::TwinEvent> e_surge;
+  steady.generate(0.0, 60.0, e_steady);
+  surging.generate(0.0, 60.0, e_surge);
+  EXPECT_GT(e_surge.size(), 2 * e_steady.size());
+  EXPECT_THROW(surging.set_rate_multiplier(0.0), util::PreconditionError);
+}
+
+// -------------------------------------------------------------- serve_loader
+
+constexpr const char* kServeIni = R"(
+[serve]
+user_count = 24
+interval_s = 10
+intervals = 6
+deadline_ms = 25
+queue_capacity = 512
+ladder = cnn:full, cnn, summary
+grouping = fixed
+fixed_k = 2
+demand = mean
+videos_per_category = 3
+
+[workload]
+channel_period_s = 2
+overload_start = 2
+overload_intervals = 2
+overload_multiplier = 6
+
+[run]
+threads = 1
+)";
+
+TEST(ServeLoader, ParsesFullPlan) {
+  util::Config config = util::Config::parse(kServeIni);
+  const cli::ServePlan plan = cli::load_serve_plan(config);
+  EXPECT_EQ(plan.serve.scheme.user_count, 24u);
+  EXPECT_DOUBLE_EQ(plan.serve.scheme.interval_s, 10.0);
+  EXPECT_DOUBLE_EQ(plan.serve.scheme.demand.interval_s, 10.0);
+  EXPECT_EQ(plan.intervals, 6u);
+  EXPECT_DOUBLE_EQ(plan.serve.deadline_ms, 25.0);
+  EXPECT_EQ(plan.serve.queue_capacity, 512u);
+  ASSERT_EQ(plan.serve.degradation.ladder.size(), 3u);
+  EXPECT_EQ(plan.serve.degradation.ladder[0].feature_stage, "cnn");
+  EXPECT_TRUE(plan.serve.degradation.ladder[0].full_extraction);
+  EXPECT_EQ(plan.serve.degradation.ladder[1].feature_stage, "cnn");
+  EXPECT_FALSE(plan.serve.degradation.ladder[1].full_extraction);
+  EXPECT_EQ(plan.serve.degradation.ladder[2].feature_stage, "summary");
+  EXPECT_EQ(plan.serve.scheme.grouping_stage, "fixed");
+  EXPECT_EQ(plan.serve.scheme.demand_stage, "mean");
+  EXPECT_DOUBLE_EQ(plan.workload.channel_period_s, 2.0);
+  EXPECT_EQ(plan.workload.user_count, 24u);
+  EXPECT_EQ(plan.overload_start, 2u);
+  EXPECT_EQ(plan.overload_intervals, 2u);
+  EXPECT_DOUBLE_EQ(plan.overload_multiplier, 6.0);
+  EXPECT_EQ(plan.threads, 1u);
+}
+
+TEST(ServeLoader, ParsesLadderLevelSyntax) {
+  const core::DegradationLevel full = cli::parse_ladder_level("cnn:full");
+  EXPECT_EQ(full.feature_stage, "cnn");
+  EXPECT_TRUE(full.full_extraction);
+  const core::DegradationLevel inc = cli::parse_ladder_level("cnn:incremental");
+  EXPECT_FALSE(inc.full_extraction);
+  const core::DegradationLevel bare = cli::parse_ladder_level("summary");
+  EXPECT_EQ(bare.feature_stage, "summary");
+  EXPECT_FALSE(bare.full_extraction);
+  EXPECT_THROW(cli::parse_ladder_level("cnn:sometimes"), util::RuntimeError);
+  EXPECT_THROW(cli::parse_ladder_level(":full"), util::RuntimeError);
+}
+
+TEST(ServeLoader, RejectsUnknownKeysAndStages) {
+  util::Config typo = util::Config::parse("[serve]\ndeadline_msec = 10\n");
+  EXPECT_THROW(cli::load_serve_plan(typo), util::RuntimeError);
+
+  util::Config bad_stage =
+      util::Config::parse("[serve]\ngrouping = kmeanz\n");
+  EXPECT_THROW(cli::load_serve_plan(bad_stage), util::RuntimeError);
+
+  util::Config bad_ladder =
+      util::Config::parse("[serve]\nladder = cnn, warp-drive\n");
+  EXPECT_THROW(cli::load_serve_plan(bad_ladder), util::RuntimeError);
+}
+
+}  // namespace

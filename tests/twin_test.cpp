@@ -412,25 +412,30 @@ TEST(TwinStore, BulkFeatureExtraction) {
   TwinStore store(3);
   const FeatureScaling scaling{100.0, 100.0, 10.0, 40.0};
   store.twin(0).record_channel(1.0, {20.0, 4.0, 0});
-  // The deprecated copying bridges stay for out-of-tree stages; they must
-  // forward to the columnar path (same values, legacy shape).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const auto windows = store.all_feature_windows(10.0, 10.0, 8, scaling);
-  const auto summaries = store.all_summary_features(10.0, 10.0, scaling);
-#pragma GCC diagnostic pop
-  ASSERT_EQ(windows.size(), 3u);
-  for (const auto& w : windows) {
-    EXPECT_EQ(w.size(), UserDigitalTwin::kFeatureChannels * 8);
-  }
-  ASSERT_EQ(summaries.size(), 3u);
+  // The WindowBatch/SummaryBatch views are the only bulk surface; their
+  // rows must be bit-identical to the per-twin single-row extraction.
   FeatureArena arena;
   const WindowBatch batch =
       store.columns().feature_windows({10.0, 10.0, 8, scaling}, arena);
+  ASSERT_EQ(batch.size(), 3u);
   for (std::size_t u = 0; u < 3; ++u) {
     const auto row = batch.row(u);
+    ASSERT_EQ(row.size(), UserDigitalTwin::kFeatureChannels * 8);
+    const std::vector<float> single = store.twin(u).feature_window(10.0, 10.0, 8, scaling);
+    ASSERT_EQ(single.size(), row.size());
     for (std::size_t i = 0; i < row.size(); ++i) {
-      EXPECT_EQ(windows[u][i], row[i]);
+      EXPECT_EQ(single[i], row[i]);
+    }
+  }
+  const SummaryBatch summaries =
+      store.columns().summary_features({10.0, 10.0, scaling}, arena);
+  ASSERT_EQ(summaries.size(), 3u);
+  for (std::size_t u = 0; u < 3; ++u) {
+    const auto row = summaries.row(u);
+    const std::vector<double> single = store.twin(u).summary_features(10.0, 10.0, scaling);
+    ASSERT_EQ(single.size(), row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ(single[i], row[i]);
     }
   }
 }
