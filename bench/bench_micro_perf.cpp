@@ -164,6 +164,25 @@ void BM_CnnEmbed120Users(benchmark::State& state) {
 }
 BENCHMARK(BM_CnnEmbed120Users);
 
+void BM_CnnEmbedBatched(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  core::CompressorConfig cfg;
+  core::FeatureCompressor comp(cfg, 4);
+  util::Rng rng(6);
+  const auto data = random_window_data(users, comp.input_size(), rng);
+  const twin::WindowBatch windows(data.data(), users, comp.input_size());
+  benchmark::DoNotOptimize(comp.embed(windows));  // warm the batch buffer
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comp.embed(windows));
+  }
+  const std::uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.counters["users/iter"] = static_cast<double>(users);
+}
+BENCHMARK(BM_CnnEmbedBatched)->Arg(120)->Arg(1000);
+
 void BM_CnnFitEpoch120Users(benchmark::State& state) {
   core::CompressorConfig cfg;
   cfg.epochs_per_fit = 1;
@@ -228,11 +247,39 @@ void BM_DdqnAct(benchmark::State& state) {
   cfg.action_count = 11;
   rl::DdqnAgent agent(cfg, 8);
   std::vector<float> s(20, 0.5f);
+  benchmark::DoNotOptimize(agent.act(s));  // warm the single-state scratch
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
   for (auto _ : state) {
     benchmark::DoNotOptimize(agent.act(s));
   }
+  const std::uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_DdqnAct);
+
+void BM_DdqnActBatched(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  rl::DdqnConfig cfg;
+  cfg.state_dim = 20;
+  cfg.action_count = 11;
+  rl::DdqnAgent agent(cfg, 8);
+  util::Rng rng(26);
+  std::vector<float> states(users * 20);
+  for (float& v : states) {
+    v = static_cast<float>(rng.uniform());
+  }
+  benchmark::DoNotOptimize(agent.greedy_actions(states, users));  // warm
+  const std::uint64_t allocs_before = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.greedy_actions(states, users));
+  }
+  const std::uint64_t allocs = g_alloc_count.load(std::memory_order_relaxed) - allocs_before;
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+  state.counters["users/iter"] = static_cast<double>(users);
+}
+BENCHMARK(BM_DdqnActBatched)->Arg(120)->Arg(1000);
 
 void BM_DdqnTrainStep(benchmark::State& state) {
   rl::DdqnConfig cfg;

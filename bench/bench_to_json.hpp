@@ -27,6 +27,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/simd.hpp"
+
 namespace dtmsv::bench {
 
 namespace detail {
@@ -172,6 +174,15 @@ inline int run_benchmarks_with_json(int argc, char** argv,
   }
   int raw_argc = static_cast<int>(raw.size());
 
+  // Baselines are only comparable within one ISA regime: record which SIMD
+  // backend the library was compiled to use and whether the build targeted
+  // the host CPU. Lands in the JSON "context" block (and the console
+  // header) next to num_cpus / build type.
+  benchmark::AddCustomContext("dtmsv_simd_backend",
+                              util::simd::active_backend_name());
+  benchmark::AddCustomContext("dtmsv_native_arch",
+                              util::simd::native_arch_build() ? "on" : "off");
+
   benchmark::Initialize(&raw_argc, raw.data());
   if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) {
     return 1;
@@ -247,7 +258,10 @@ inline void write_manual_benchmarks_json(
   std::string merged =
       detail::splice_into_benchmarks_array(detail::read_file(json_path), entries);
   if (merged.empty()) {
-    merged = "{\n  \"context\": {\"library_build_type\": \"manual\"},\n"
+    merged = std::string("{\n  \"context\": {\"library_build_type\": \"manual\", ") +
+             "\"dtmsv_simd_backend\": \"" + util::simd::active_backend_name() +
+             "\", \"dtmsv_native_arch\": \"" +
+             (util::simd::native_arch_build() ? "on" : "off") + "\"},\n" +
              "  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < entries.size(); ++i) {
       merged += "    " + entries[i];

@@ -4,15 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "clustering/kmeans_kernels.hpp"
 #include "util/error.hpp"
-
-#if defined(__AVX512F__)
-// GCC's _mm512_reduce_* expansions trip -Wmaybe-uninitialized inside
-// avx512fintrin.h; the warning is in the compiler's own header, not here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#include <immintrin.h>
-#endif
 
 namespace dtmsv::clustering {
 
@@ -50,176 +43,30 @@ std::vector<std::size_t> KMeansResult::cluster_sizes() const {
 
 namespace {
 
+// All k-means-internal distance users share the kernel-layer madd chain
+// (kernels::row_sq_dist), which is what every lane of the vectorised
+// assign pass reproduces — assignments, re-seeding, and inertia stay
+// mutually consistent on every backend. The portable kernel replaced the
+// old hand-rolled AVX-512 dim==8/k<=16 special case (and its tree
+// reduction + GCC pragma workaround): it handles any dim/k, and its
+// per-centroid distances follow the same ascending-dimension chain as the
+// scalar scan, so results no longer depend on the point shape.
+using kernels::row_sq_dist;
+
 void validate_points(const Points& points) {
   DTMSV_EXPECTS_MSG(!points.empty(), "k-means: empty point set");
   DTMSV_EXPECTS_MSG(points.dim() > 0, "k-means: zero-dimensional points");
 }
 
-/// Squared distance between two contiguous rows. The paper pipeline
-/// clusters 8-d CNN embeddings, so dim == 8 (exactly one 512-bit vector
-/// of doubles) gets a SIMD fast path when the build targets AVX-512; the
-/// scalar loop is the fallback and the only path on other ISAs. All
-/// k-means-internal distance users go through here, so assignments and
-/// inertia stay mutually consistent whichever path is taken.
-inline double row_sq_dist(const double* a, const double* b, std::size_t dim) {
-#if defined(__AVX512F__)
-  if (dim == 8) {
-    const __m512d d = _mm512_sub_pd(_mm512_loadu_pd(a), _mm512_loadu_pd(b));
-    return _mm512_reduce_add_pd(_mm512_mul_pd(d, d));
-  }
-#endif
-  double total = 0.0;
-  for (std::size_t d = 0; d < dim; ++d) {
-    const double diff = a[d] - b[d];
-    total += diff * diff;
-  }
-  return total;
-}
-
-inline double nearest_centroid_sq(const double* point, const Points& centroids,
-                                  std::size_t* index = nullptr) {
-  const std::size_t dim = centroids.dim();
-  const double* cents = centroids.data();
-  double best = std::numeric_limits<double>::infinity();
-  std::size_t best_idx = 0;
-  for (std::size_t c = 0; c < centroids.size(); ++c) {
-    const double d = row_sq_dist(point, cents + c * dim, dim);
-    if (d < best) {
-      best = d;
-      best_idx = c;
-    }
-  }
-  if (index != nullptr) {
-    *index = best_idx;
-  }
-  return best;
-}
-
-#if defined(__AVX512F__)
-/// Branchless nearest-centroid search for 8-d points and k <= 16, the
-/// paper pipeline's shape (8-d CNN embeddings, K in [2, 12]).
-///
-/// Centroids are transposed into dim-major groups of 8 so that lane c of
-/// a 512-bit accumulator carries the running squared distance to centroid
-/// c; per point the whole search is 8 broadcast-sub-fma steps per group,
-/// a masked min-reduce, and a ctz — no data-dependent branches at all.
-/// That matters: centroid positions change every Lloyd iteration, so a
-/// compare-and-branch argmin mispredicts its way through the pass (~2.5x
-/// slower in situ even though it looks fine in steady-state microbenches).
-/// Tie-breaking matches the scalar scan exactly: the EQ-mask ctz returns
-/// the lowest lane attaining the minimum, and group order is ascending.
-///
-/// `changed` and the per-cluster sums/counts of the update step are
-/// folded into the same pass while the point row sits in a register.
-template <std::size_t GROUPS>
-bool assign_accumulate_d8(const double* pts, std::size_t n, const double* cents,
-                          std::size_t k, std::size_t* assignment, double* sums,
-                          std::size_t* counts) {
-  // Transpose + pad: lane c of trows[g][d] = component d of centroid
-  // g*8+c, +inf beyond k so padded lanes never win the min.
-  __m512d trows[GROUPS][8];
-  for (std::size_t g = 0; g < GROUPS; ++g) {
-    for (std::size_t d = 0; d < 8; ++d) {
-      alignas(64) double lane[8];
-      for (std::size_t c = 0; c < 8; ++c) {
-        const std::size_t idx = g * 8 + c;
-        lane[c] = idx < k ? cents[idx * 8 + d]
-                          : std::numeric_limits<double>::infinity();
-      }
-      trows[g][d] = _mm512_load_pd(lane);
-    }
-  }
-
-  std::size_t nchanged = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* p = pts + i * 8;
-    __m512d acc[GROUPS];
-    for (std::size_t g = 0; g < GROUPS; ++g) {
-      acc[g] = _mm512_setzero_pd();
-    }
-    for (std::size_t d = 0; d < 8; ++d) {
-      const __m512d pv = _mm512_set1_pd(p[d]);
-      for (std::size_t g = 0; g < GROUPS; ++g) {
-        const __m512d x = _mm512_sub_pd(pv, trows[g][d]);
-        acc[g] = _mm512_fmadd_pd(x, x, acc[g]);
-      }
-    }
-    double best = _mm512_reduce_min_pd(acc[0]);
-    const __mmask8 eq0 = _mm512_cmp_pd_mask(acc[0], _mm512_set1_pd(best), _CMP_EQ_OQ);
-    std::size_t best_idx =
-        eq0 != 0 ? static_cast<std::size_t>(__builtin_ctz(eq0)) : 0;
-    for (std::size_t g = 1; g < GROUPS; ++g) {
-      const double m = _mm512_reduce_min_pd(acc[g]);
-      if (m < best) {
-        const __mmask8 eq = _mm512_cmp_pd_mask(acc[g], _mm512_set1_pd(m), _CMP_EQ_OQ);
-        best = m;
-        best_idx = g * 8 + (eq != 0 ? static_cast<std::size_t>(__builtin_ctz(eq)) : 0);
-      }
-    }
-    if (best != best) {
-      // NaN in the data poisons the vector reduction (ordered compares
-      // are all-false, min propagation is order-dependent). Fall back to
-      // the scalar strict-< scan, which skips NaN distances exactly like
-      // the pre-SIMD implementation did.
-      best = std::numeric_limits<double>::infinity();
-      best_idx = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        const double t = row_sq_dist(p, cents + c * 8, 8);
-        if (t < best) {
-          best = t;
-          best_idx = c;
-        }
-      }
-    }
-    nchanged += static_cast<std::size_t>(assignment[i] != best_idx);
-    assignment[i] = best_idx;
-    ++counts[best_idx];
-    double* srow = sums + best_idx * 8;
-    _mm512_storeu_pd(srow, _mm512_add_pd(_mm512_loadu_pd(srow), _mm512_loadu_pd(p)));
-  }
-  return nchanged != 0;
-}
-#endif  // __AVX512F__
-
-/// Fused assignment + accumulation pass of one Lloyd iteration: finds each
-/// point's nearest centroid (strict-< argmin, lowest index wins) and
-/// immediately folds the point into its cluster's running sum while the
-/// row is still hot — the separate O(n·dim) update sweep the seed
-/// performed disappears. Returns true when any assignment changed.
+/// Fused assignment + accumulation pass of one Lloyd iteration on the
+/// build's default SIMD backend (lanes = centroids; see kmeans_kernels.hpp
+/// for the layout and the bit-identity argument).
 bool assign_accumulate(const Points& points, const Points& centroids,
                        std::size_t* assignment, double* sums,
                        std::size_t* counts) {
-  const std::size_t n = points.size();
-  const std::size_t k = centroids.size();
-  const std::size_t dim = points.dim();
-  const double* pts = points.data();
-  const double* cents = centroids.data();
-
-#if defined(__AVX512F__)
-  if (dim == 8 && k <= 8) {
-    return assign_accumulate_d8<1>(pts, n, cents, k, assignment, sums, counts);
-  }
-  if (dim == 8 && k <= 16) {
-    return assign_accumulate_d8<2>(pts, n, cents, k, assignment, sums, counts);
-  }
-#endif
-
-  bool changed = false;
-  for (std::size_t i = 0; i < n; ++i) {
-    const double* p = pts + i * dim;
-    std::size_t nearest = 0;
-    nearest_centroid_sq(p, centroids, &nearest);
-    if (assignment[i] != nearest) {
-      assignment[i] = nearest;
-      changed = true;
-    }
-    ++counts[nearest];
-    double* srow = sums + nearest * dim;
-    for (std::size_t d = 0; d < dim; ++d) {
-      srow[d] += p[d];
-    }
-  }
-  return changed;
+  return kernels::assign_accumulate<util::simd::default_backend>(
+      points.data(), points.size(), points.dim(), centroids.data(),
+      centroids.size(), assignment, sums, counts);
 }
 
 KMeansResult run_single(const Points& points, std::size_t k, util::Rng& rng,
@@ -364,7 +211,3 @@ std::vector<std::size_t> assign_to_nearest(const Points& points, const Points& c
 }
 
 }  // namespace dtmsv::clustering
-
-#if defined(__AVX512F__)
-#pragma GCC diagnostic pop
-#endif

@@ -1,0 +1,223 @@
+// Backend-templated k-means kernels, shared by the Lloyd loop in
+// kmeans.cpp (instantiated on the build's default SIMD backend) and by the
+// backend-equivalence tests (which instantiate every backend the binary
+// was compiled for and assert bit-identical results).
+//
+// Vectorisation layout: lanes are *centroids*. Centroids are transposed
+// into dim-major lane rows (padded with +inf so dead lanes never win),
+// and lane c accumulates point-to-centroid-c squared distance as the
+// exact madd chain over dimensions the scalar backend would run — same
+// order, same fusion regime. The argmin is a scalar strict-< scan over
+// the stored per-centroid distances (lowest index wins, NaN distances
+// never compare less so they are skipped), identical on every backend.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "util/simd.hpp"
+
+namespace dtmsv::clustering::kernels {
+
+/// Squared Euclidean distance between two contiguous rows, accumulated as
+/// an ascending-dimension madd chain — the scalar reference every lane of
+/// the assign kernel reproduces.
+inline double row_sq_dist(const double* a, const double* b, std::size_t dim) {
+  double total = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) {
+    const double diff = a[d] - b[d];
+    total = util::simd::madd(diff, diff, total);
+  }
+  return total;
+}
+
+/// Branchless strict-< argmin over the first k stored distances: lowest
+/// index wins, NaN entries never compare less and are skipped. Written as
+/// conditional selects rather than compare-and-branch — centroids move
+/// every Lloyd iteration, so a branchy scan mispredicts its way through
+/// the pass in situ even though it looks fine in steady-state microbenches.
+inline std::size_t argmin_scan(const double* dist, std::size_t k) {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_idx = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double dc = dist[c];
+    const bool lt = dc < best;
+    best = lt ? dc : best;
+    best_idx = lt ? c : best_idx;
+  }
+  return best_idx;
+}
+
+/// Register-resident specialisation of the fused assign+accumulate pass
+/// for the paper shape: 8-d CNN embeddings, k <= GROUPS lane groups. The
+/// transposed centroid lanes live in GROUPS x 8 packs for the entire pass
+/// and each point's search is 8 broadcast-sub-madd steps per group — no
+/// centroid memory traffic inside the point loop. Chains and tie-breaking
+/// are exactly the generic kernel's, so the two paths (and every backend)
+/// agree bit-for-bit.
+template <typename Backend, std::size_t GROUPS>
+bool assign_accumulate_d8(const double* pts, std::size_t n,
+                          const double* cents, std::size_t k,
+                          std::size_t* assignment, double* sums,
+                          std::size_t* counts) {
+  using P = util::simd::pack<double, Backend>;
+  constexpr std::size_t W = P::width;
+  constexpr std::size_t DIM = 8;
+
+  // Transpose + pad into lane rows (+inf beyond k so dead lanes never
+  // win), then lift them into packs the compiler can keep in registers.
+  double tr[DIM * GROUPS * W];
+  std::fill(tr, tr + DIM * GROUPS * W,
+            std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t d = 0; d < DIM; ++d) {
+      tr[d * GROUPS * W + c] = cents[c * DIM + d];
+    }
+  }
+  P trows[GROUPS][DIM];
+  for (std::size_t g = 0; g < GROUPS; ++g) {
+    for (std::size_t d = 0; d < DIM; ++d) {
+      trows[g][d] = P::load(tr + d * GROUPS * W + g * W);
+    }
+  }
+
+  std::size_t nchanged = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = pts + i * DIM;
+    P acc[GROUPS];
+    for (std::size_t g = 0; g < GROUPS; ++g) {
+      acc[g] = P::zero();
+    }
+    for (std::size_t d = 0; d < DIM; ++d) {
+      const P pv = P::broadcast(p[d]);
+      for (std::size_t g = 0; g < GROUPS; ++g) {
+        const P x = pv - trows[g][d];
+        acc[g] = P::madd(x, x, acc[g]);
+      }
+    }
+    // Resolve the argmin in registers: per-group min-reduce, then the
+    // lowest lane attaining it via the EQ-mask ctz (group order is
+    // ascending and later groups only win on strict <, so ties resolve to
+    // the lowest index — exactly argmin_scan's semantics). Vector min
+    // propagation is operand-order-dependent under NaN, so any NaN lane
+    // routes the point through the stored-distance scalar scan instead,
+    // which skips NaN like the pre-SIMD implementation did.
+    unsigned nan_lanes = 0;
+    for (std::size_t g = 0; g < GROUPS; ++g) {
+      nan_lanes |= acc[g].unord_mask();
+    }
+    std::size_t best_idx;
+    if (nan_lanes != 0) {
+      double dist[GROUPS * W];
+      for (std::size_t g = 0; g < GROUPS; ++g) {
+        acc[g].store(dist + g * W);
+      }
+      best_idx = argmin_scan(dist, k);
+    } else {
+      double best = acc[0].reduce_min();
+      best_idx = static_cast<std::size_t>(std::countr_zero(acc[0].eq_mask(best)));
+      for (std::size_t g = 1; g < GROUPS; ++g) {
+        const double m = acc[g].reduce_min();
+        if (m < best) {
+          best = m;
+          best_idx =
+              g * W + static_cast<std::size_t>(std::countr_zero(acc[g].eq_mask(m)));
+        }
+      }
+    }
+
+    nchanged += static_cast<std::size_t>(assignment[i] != best_idx);
+    assignment[i] = best_idx;
+    ++counts[best_idx];
+    util::simd::add_rows<Backend>(sums + best_idx * DIM, p, DIM);
+  }
+  return nchanged != 0;
+}
+
+/// Fused assignment + accumulation pass of one Lloyd iteration over raw
+/// rows: finds each point's nearest centroid and immediately folds the
+/// point into its cluster's running sum and count while the row is still
+/// hot. Returns true when any assignment changed. `sums` must hold k*dim
+/// zeros-or-carried values, `counts` k entries; n == 0 is a no-op.
+template <typename Backend>
+bool assign_accumulate(const double* pts, std::size_t n, std::size_t dim,
+                       const double* cents, std::size_t k,
+                       std::size_t* assignment, double* sums,
+                       std::size_t* counts) {
+  {
+    using P = util::simd::pack<double, Backend>;
+    // The paper pipeline's shape (8-d embeddings, K in [2, 12]) gets the
+    // register-resident kernel; unusual shapes take the generic loop
+    // below. Both produce identical bits, so the cutoff is purely perf.
+    if (dim == 8 && k <= P::width) {
+      return assign_accumulate_d8<Backend, 1>(pts, n, cents, k, assignment,
+                                              sums, counts);
+    }
+    if (dim == 8 && k <= 2 * P::width) {
+      return assign_accumulate_d8<Backend, 2>(pts, n, cents, k, assignment,
+                                              sums, counts);
+    }
+  }
+  using P = util::simd::pack<double, Backend>;
+  constexpr std::size_t W = P::width;
+  const std::size_t groups = (k + W - 1) / W;
+  const std::size_t padded_k = groups * W;
+
+  // Transpose + pad: trows[d * padded_k + c] = component d of centroid c,
+  // +inf beyond k so padded lanes never win the scan.
+  std::vector<double> trows(dim * padded_k,
+                            std::numeric_limits<double>::infinity());
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      trows[d * padded_k + c] = cents[c * dim + d];
+    }
+  }
+
+  std::vector<double> dist(padded_k);
+  std::size_t nchanged = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* p = pts + i * dim;
+
+    // Per-centroid squared distances, one madd chain per lane. Two lane
+    // groups run interleaved so their fma chains overlap (the chain over
+    // dimensions is latency-bound; centroid positions move every Lloyd
+    // iteration, so a branchy argmin inside this loop mispredicts — all
+    // comparisons are deferred to the scan below).
+    std::size_t g = 0;
+    for (; g + 2 <= groups; g += 2) {
+      P acc0 = P::zero();
+      P acc1 = P::zero();
+      for (std::size_t d = 0; d < dim; ++d) {
+        const P pv = P::broadcast(p[d]);
+        const P x0 = pv - P::load(trows.data() + d * padded_k + g * W);
+        const P x1 = pv - P::load(trows.data() + d * padded_k + (g + 1) * W);
+        acc0 = P::madd(x0, x0, acc0);
+        acc1 = P::madd(x1, x1, acc1);
+      }
+      acc0.store(dist.data() + g * W);
+      acc1.store(dist.data() + (g + 1) * W);
+    }
+    for (; g < groups; ++g) {
+      P acc = P::zero();
+      for (std::size_t d = 0; d < dim; ++d) {
+        const P pv = P::broadcast(p[d]);
+        const P x = pv - P::load(trows.data() + d * padded_k + g * W);
+        acc = P::madd(x, x, acc);
+      }
+      acc.store(dist.data() + g * W);
+    }
+
+    const std::size_t best_idx = argmin_scan(dist.data(), k);
+
+    nchanged += static_cast<std::size_t>(assignment[i] != best_idx);
+    assignment[i] = best_idx;
+    ++counts[best_idx];
+    util::simd::add_rows<Backend>(sums + best_idx * dim, p, dim);
+  }
+  return nchanged != 0;
+}
+
+}  // namespace dtmsv::clustering::kernels

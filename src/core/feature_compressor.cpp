@@ -53,8 +53,15 @@ nn::Tensor& FeatureCompressor::gather_batch(const twin::WindowBatch& windows,
     batch_ = nn::Tensor({n, config_.channels, config_.timesteps});
   }
   auto data = batch_.data();
+  if (indices == nullptr) {
+    // Contiguous fleet slice (the embed path): WindowBatch rows are
+    // adjacent in the arena, so the whole batch stages as one bulk copy.
+    const float* src = windows.data() + begin * windows.window_size();
+    std::copy(src, src + n * windows.window_size(), data.begin());
+    return batch_;
+  }
   for (std::size_t i = 0; i < n; ++i) {
-    const auto w = windows.row(indices != nullptr ? indices[begin + i] : begin + i);
+    const auto w = windows.row(indices[begin + i]);
     std::copy(w.begin(), w.end(), data.begin() + static_cast<std::ptrdiff_t>(i * w.size()));
   }
   return batch_;

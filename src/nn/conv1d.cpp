@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "nn/init.hpp"
+#include "util/simd.hpp"
 
 namespace dtmsv::nn {
+
+namespace {
+
+using Backend = util::simd::default_backend;
+
+/// Valid (non-padding) kernel-tap range [k_lo, k_hi) for an im2col window
+/// starting at `pos0` in padded coordinates. Taps outside the range fall
+/// in the zero padding; taps inside map to input position
+/// pos0 + k - padding. Hoisting the bounds out of the tap loop turns the
+/// per-element padding branch into straight-line copies the SIMD helpers
+/// can run wide.
+inline void tap_bounds(std::size_t pos0, std::size_t padding, std::size_t len,
+                       std::size_t kernel, std::size_t& k_lo,
+                       std::size_t& k_hi) {
+  k_lo = pos0 < padding ? std::min(padding - pos0, kernel) : 0;
+  const std::size_t limit = padding + len;
+  k_hi = pos0 >= limit ? 0 : std::min(kernel, limit - pos0);
+  k_hi = std::max(k_hi, k_lo);
+}
+
+}  // namespace
 
 Conv1D::Conv1D(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
                util::Rng& rng, std::size_t stride, std::size_t padding)
@@ -45,15 +67,18 @@ Tensor Conv1D::forward(const Tensor& input) {
     for (std::size_t t = 0; t < out_len; ++t) {
       float* prow = rows + (b * out_len + t) * patch;
       const std::size_t pos0 = t * stride_;  // window start in padded coords
+      std::size_t k_lo = 0, k_hi = 0;
+      tap_bounds(pos0, padding_, len, kernel_, k_lo, k_hi);
       for (std::size_t c = 0; c < in_channels_; ++c) {
         const float* irow = in + (b * in_channels_ + c) * len;
         float* pseg = prow + c * kernel_;
-        for (std::size_t k = 0; k < kernel_; ++k) {
-          const std::size_t pos = pos0 + k;
-          pseg[k] = (pos < padding_ || pos >= padding_ + len)
-                        ? 0.0f
-                        : irow[pos - padding_];
+        std::fill(pseg, pseg + k_lo, 0.0f);
+        if (k_hi > k_lo) {
+          util::simd::copy_row<Backend>(pseg + k_lo,
+                                        irow + (pos0 + k_lo - padding_),
+                                        k_hi - k_lo);
         }
+        std::fill(pseg + k_hi, pseg + kernel_, 0.0f);
       }
     }
   }
@@ -125,15 +150,16 @@ Tensor Conv1D::backward(const Tensor& grad_output) {
     for (std::size_t t = 0; t < out_len; ++t) {
       const float* prow = gp + (b * out_len + t) * patch;
       const std::size_t pos0 = t * stride_;
+      std::size_t k_lo = 0, k_hi = 0;
+      tap_bounds(pos0, padding_, len, kernel_, k_lo, k_hi);
+      if (k_hi == k_lo) {
+        continue;
+      }
       for (std::size_t c = 0; c < in_channels_; ++c) {
         float* irow = gi + (b * in_channels_ + c) * len;
         const float* pseg = prow + c * kernel_;
-        for (std::size_t k = 0; k < kernel_; ++k) {
-          const std::size_t pos = pos0 + k;
-          if (pos >= padding_ && pos < padding_ + len) {
-            irow[pos - padding_] += pseg[k];
-          }
-        }
+        util::simd::add_rows<Backend>(irow + (pos0 + k_lo - padding_),
+                                      pseg + k_lo, k_hi - k_lo);
       }
     }
   }

@@ -1,0 +1,172 @@
+// Backend-templated matmul row kernels, shared by the Tensor entry points
+// in tensor.cpp (instantiated on the build's default SIMD backend) and by
+// the backend-equivalence tests (which instantiate every backend compiled
+// into the binary and assert bit-identical outputs).
+//
+// Vectorisation layout: lanes are *output columns* (j). All kernels
+// accumulate each output element (i, j) in ascending kk order whatever the
+// lane width or register blocking, so a vector lane computes exactly the
+// chain the scalar backend computes for that column. Multiply-accumulate
+// goes through util::simd's madd (fused iff the target has fast hardware
+// FMA, in scalar and vector code alike), so scalar tails agree with
+// vector bodies and the scalar backend agrees with both.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/simd.hpp"
+
+namespace dtmsv::nn::kernels {
+
+// Cache tiles for the blocked kernels. The b-tile (kTileK x kTileJ floats,
+// 32 KiB) stays L1/L2-resident while it is reused across a block of output
+// rows. Accumulation order per output element is always ascending kk
+// (the kb blocks advance monotonically), so tiled results are
+// bit-identical to the untiled triple loop and to themselves for any tile
+// size, lane width, or thread count.
+constexpr std::size_t kTileI = 32;
+constexpr std::size_t kTileJ = 128;
+constexpr std::size_t kTileK = 64;
+
+/// Register-blocked accumulate: orow[jb..je) += Σ_kk a(kk) · b[kk][jb..je)
+/// for kk in [kb, ke), where a(kk) = abase[kk * astride]. Output columns
+/// live in vector registers across the whole kk loop (4-vector blocks, then
+/// single vectors, then a scalar tail), so the serial dependency per column
+/// is the FMA chain itself rather than a store-to-load round trip. Every
+/// column still accumulates in ascending kk order via util::simd's madd —
+/// the same chain whatever the lane width, so blocking preserves
+/// bit-identity with the scalar backend.
+template <typename Backend>
+inline void accum_cols(const float* abase, std::size_t astride, const float* b,
+                       float* orow, std::size_t kb, std::size_t ke,
+                       std::size_t jb, std::size_t je, std::size_t n) {
+  using P = util::simd::pack<float, Backend>;
+  std::size_t j = jb;
+  if constexpr (P::width > 1) {
+    constexpr std::size_t W = P::width;
+    for (; j + 4 * W <= je; j += 4 * W) {
+      P acc0 = P::load(orow + j);
+      P acc1 = P::load(orow + j + W);
+      P acc2 = P::load(orow + j + 2 * W);
+      P acc3 = P::load(orow + j + 3 * W);
+      for (std::size_t kk = kb; kk < ke; ++kk) {
+        const P avv = P::broadcast(abase[kk * astride]);
+        const float* brow = b + kk * n;
+        acc0 = P::madd(avv, P::load(brow + j), acc0);
+        acc1 = P::madd(avv, P::load(brow + j + W), acc1);
+        acc2 = P::madd(avv, P::load(brow + j + 2 * W), acc2);
+        acc3 = P::madd(avv, P::load(brow + j + 3 * W), acc3);
+      }
+      acc0.store(orow + j);
+      acc1.store(orow + j + W);
+      acc2.store(orow + j + 2 * W);
+      acc3.store(orow + j + 3 * W);
+    }
+    for (; j + W <= je; j += W) {
+      P acc = P::load(orow + j);
+      for (std::size_t kk = kb; kk < ke; ++kk) {
+        acc = P::madd(P::broadcast(abase[kk * astride]), P::load(b + kk * n + j),
+                      acc);
+      }
+      acc.store(orow + j);
+    }
+  }
+  for (; j < je; ++j) {
+    float acc = orow[j];
+    for (std::size_t kk = kb; kk < ke; ++kk) {
+      acc = util::simd::madd(abase[kk * astride], b[kk * n + j], acc);
+    }
+    orow[j] = acc;
+  }
+}
+
+/// out[i0..i1) += a · b for row-major a (m×k), b (k×n).
+template <typename Backend>
+void matmul_rows(const float* a, const float* b, float* out, std::size_t i0,
+                 std::size_t i1, std::size_t k, std::size_t n) {
+  for (std::size_t ib = i0; ib < i1; ib += kTileI) {
+    const std::size_t ie = std::min(ib + kTileI, i1);
+    for (std::size_t kb = 0; kb < k; kb += kTileK) {
+      const std::size_t ke = std::min(kb + kTileK, k);
+      for (std::size_t jb = 0; jb < n; jb += kTileJ) {
+        const std::size_t je = std::min(jb + kTileJ, n);
+        for (std::size_t i = ib; i < ie; ++i) {
+          accum_cols<Backend>(a + i * k, 1, b, out + i * n, kb, ke, jb, je, n);
+        }
+      }
+    }
+  }
+}
+
+/// out[i0..i1) = a · bᵀ for row-major a (m×k), b (n×k), dot-product form.
+/// Four independent chains per iteration break the serial FP dependency
+/// while keeping every (i, j) accumulation in ascending kk order — the
+/// same chain the axpy kernels produce, so the two forms are
+/// interchangeable per element. Backend-independent (no useful contiguous
+/// lane axis without transposing b); kept for short row counts where a
+/// transpose would cost more than it saves.
+inline void matmul_bt_rows(const float* a, const float* b, float* out,
+                           std::size_t i0, std::size_t i1, std::size_t k,
+                           std::size_t n) {
+  for (std::size_t i = i0; i < i1; ++i) {
+    const float* arow = a + i * k;
+    float* orow = out + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + (j + 0) * k;
+      const float* b1 = b + (j + 1) * k;
+      const float* b2 = b + (j + 2) * k;
+      const float* b3 = b + (j + 3) * k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        acc0 = util::simd::madd(av, b0[kk], acc0);
+        acc1 = util::simd::madd(av, b1[kk], acc1);
+        acc2 = util::simd::madd(av, b2[kk], acc2);
+        acc3 = util::simd::madd(av, b3[kk], acc3);
+      }
+      orow[j + 0] = acc0;
+      orow[j + 1] = acc1;
+      orow[j + 2] = acc2;
+      orow[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc = util::simd::madd(arow[kk], brow[kk], acc);
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+/// out[i0..i1) += aᵀ · b for row-major a (k×m), b (k×n).
+template <typename Backend>
+void matmul_at_rows(const float* a, const float* b, float* out, std::size_t i0,
+                    std::size_t i1, std::size_t k, std::size_t m,
+                    std::size_t n) {
+  for (std::size_t ib = i0; ib < i1; ib += kTileI) {
+    const std::size_t ie = std::min(ib + kTileI, i1);
+    for (std::size_t kb = 0; kb < k; kb += kTileK) {
+      const std::size_t ke = std::min(kb + kTileK, k);
+      for (std::size_t i = ib; i < ie; ++i) {
+        accum_cols<Backend>(a + i, m, b, out + i * n, kb, ke, 0, n, n);
+      }
+    }
+  }
+}
+
+/// dst (k×n) = src (n×k) transposed. Pure data movement, exact.
+inline void transpose(const float* src, float* dst, std::size_t n,
+                      std::size_t k) {
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* srow = src + r * k;
+    for (std::size_t c = 0; c < k; ++c) {
+      dst[c * n + r] = srow[c];
+    }
+  }
+}
+
+}  // namespace dtmsv::nn::kernels

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "nn/kernels.hpp"
 #include "util/parallel.hpp"
 
 namespace dtmsv::nn {
@@ -139,14 +140,11 @@ float Tensor::abs_max() const {
 
 namespace {
 
-// Cache tiles for the blocked kernels. The b-tile (kTileK x kTileJ floats,
-// 32 KiB) stays L1/L2-resident while it is reused across a block of output
-// rows. Accumulation order per output element is always ascending kk, so
-// tiled results are bit-identical to the untiled triple loop and to
-// themselves for any tile size or thread count.
-constexpr std::size_t kTileI = 32;
-constexpr std::size_t kTileJ = 128;
-constexpr std::size_t kTileK = 64;
+// The row kernels live in nn/kernels.hpp, templated on the SIMD backend;
+// the entry points here instantiate the build's default backend (lanes =
+// output columns, per-element ascending-kk chains — bit-identical across
+// backends, tile sizes, and thread counts).
+using Backend = util::simd::default_backend;
 
 // Row blocks below this many multiply-adds run on the calling thread;
 // parallel dispatch overhead would dominate smaller products.
@@ -156,89 +154,18 @@ std::size_t row_grain(std::size_t per_row_flops) {
   return std::max<std::size_t>(1, kParallelFlops / std::max<std::size_t>(1, per_row_flops));
 }
 
-/// out[i0..i1) += a · b for row-major a (m×k), b (k×n).
-void matmul_rows(const float* a, const float* b, float* out, std::size_t i0,
-                 std::size_t i1, std::size_t k, std::size_t n) {
-  for (std::size_t ib = i0; ib < i1; ib += kTileI) {
-    const std::size_t ie = std::min(ib + kTileI, i1);
-    for (std::size_t kb = 0; kb < k; kb += kTileK) {
-      const std::size_t ke = std::min(kb + kTileK, k);
-      for (std::size_t jb = 0; jb < n; jb += kTileJ) {
-        const std::size_t je = std::min(jb + kTileJ, n);
-        for (std::size_t i = ib; i < ie; ++i) {
-          const float* arow = a + i * k;
-          float* orow = out + i * n;
-          for (std::size_t kk = kb; kk < ke; ++kk) {
-            const float av = arow[kk];
-            const float* brow = b + kk * n;
-            for (std::size_t j = jb; j < je; ++j) {
-              orow[j] = fused_madd(av, brow[j], orow[j]);
-            }
-          }
-        }
-      }
-    }
-  }
-}
+// matmul_bt on this many output rows or more transposes b once and runs
+// the vector axpy kernel over the transposed operand — same per-element
+// ascending-kk chain as the dot-product form, so the two paths agree
+// bit-for-bit and the cutoff is purely a performance choice. Below it
+// (the 1-row DDQN act/q_values forwards) the transpose would cost more
+// than the product.
+constexpr std::size_t kBtTransposeMinRows = 8;
 
-/// out[i0..i1) = a · bᵀ for row-major a (m×k), b (n×k). Four independent
-/// dot-product chains per iteration break the serial FP dependency while
-/// keeping every (i, j) accumulation in ascending kk order.
-void matmul_bt_rows(const float* a, const float* b, float* out, std::size_t i0,
-                    std::size_t i1, std::size_t k, std::size_t n) {
-  for (std::size_t i = i0; i < i1; ++i) {
-    const float* arow = a + i * k;
-    float* orow = out + i * n;
-    std::size_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = b + (j + 0) * k;
-      const float* b1 = b + (j + 1) * k;
-      const float* b2 = b + (j + 2) * k;
-      const float* b3 = b + (j + 3) * k;
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        const float av = arow[kk];
-        acc0 = fused_madd(av, b0[kk], acc0);
-        acc1 = fused_madd(av, b1[kk], acc1);
-        acc2 = fused_madd(av, b2[kk], acc2);
-        acc3 = fused_madd(av, b3[kk], acc3);
-      }
-      orow[j + 0] = acc0;
-      orow[j + 1] = acc1;
-      orow[j + 2] = acc2;
-      orow[j + 3] = acc3;
-    }
-    for (; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) {
-        acc = fused_madd(arow[kk], brow[kk], acc);
-      }
-      orow[j] = acc;
-    }
-  }
-}
-
-/// out[i0..i1) += aᵀ · b for row-major a (k×m), b (k×n).
-void matmul_at_rows(const float* a, const float* b, float* out, std::size_t i0,
-                    std::size_t i1, std::size_t k, std::size_t m, std::size_t n) {
-  for (std::size_t ib = i0; ib < i1; ib += kTileI) {
-    const std::size_t ie = std::min(ib + kTileI, i1);
-    for (std::size_t kb = 0; kb < k; kb += kTileK) {
-      const std::size_t ke = std::min(kb + kTileK, k);
-      for (std::size_t i = ib; i < ie; ++i) {
-        float* orow = out + i * n;
-        for (std::size_t kk = kb; kk < ke; ++kk) {
-          const float av = a[kk * m + i];
-          const float* brow = b + kk * n;
-          for (std::size_t j = 0; j < n; ++j) {
-            orow[j] = fused_madd(av, brow[j], orow[j]);
-          }
-        }
-      }
-    }
-  }
-}
+// Below this many output columns the direct batch path runs mostly in its
+// scalar tail (an AVX-512 pack is 16 lanes); a wide-m narrow-n product is
+// served better by the transposed-output form.
+constexpr std::size_t kBtMinDirectCols = 16;
 
 }  // namespace
 
@@ -253,7 +180,7 @@ Tensor Tensor::matmul(const Tensor& a, const Tensor& b) {
   const float* bp = b.data_.data();
   float* op = out.data_.data();
   util::parallel_for(0, m, row_grain(k * n), [&](std::size_t i0, std::size_t i1) {
-    matmul_rows(ap, bp, op, i0, i1, k, n);
+    kernels::matmul_rows<Backend>(ap, bp, op, i0, i1, k, n);
   });
   return out;
 }
@@ -268,8 +195,32 @@ Tensor Tensor::matmul_bt(const Tensor& a, const Tensor& b) {
   const float* ap = a.data_.data();
   const float* bp = b.data_.data();
   float* op = out.data_.data();
+  if (m >= kBtTransposeMinRows) {
+    if (n < kBtMinDirectCols && m > n) {
+      // Narrow output (e.g. a wide batch against a head with few units):
+      // too few columns to fill vector lanes directly, so compute outᵀ =
+      // b · aᵀ instead — lanes become output *rows*, of which there are
+      // many. fma(x, y, acc) == fma(y, x, acc) exactly, so each (i, j)
+      // still accumulates the scalar reference chain in ascending kk.
+      std::vector<float> at(k * m);
+      kernels::transpose(ap, at.data(), m, k);
+      std::vector<float> ot(n * m, 0.0f);
+      kernels::matmul_rows<Backend>(bp, at.data(), ot.data(), 0, n, k, m);
+      kernels::transpose(ot.data(), op, n, m);
+      return out;
+    }
+    // Batch path: transpose b once, then the product is a plain a · bᵗ
+    // matmul on contiguous columns the vector kernel can eat.
+    std::vector<float> bt(k * n);
+    kernels::transpose(bp, bt.data(), n, k);
+    const float* btp = bt.data();
+    util::parallel_for(0, m, row_grain(k * n), [&](std::size_t i0, std::size_t i1) {
+      kernels::matmul_rows<Backend>(ap, btp, op, i0, i1, k, n);
+    });
+    return out;
+  }
   util::parallel_for(0, m, row_grain(k * n), [&](std::size_t i0, std::size_t i1) {
-    matmul_bt_rows(ap, bp, op, i0, i1, k, n);
+    kernels::matmul_bt_rows(ap, bp, op, i0, i1, k, n);
   });
   return out;
 }
@@ -285,7 +236,7 @@ Tensor Tensor::matmul_at(const Tensor& a, const Tensor& b) {
   const float* bp = b.data_.data();
   float* op = out.data_.data();
   util::parallel_for(0, m, row_grain(k * n), [&](std::size_t i0, std::size_t i1) {
-    matmul_at_rows(ap, bp, op, i0, i1, k, m, n);
+    kernels::matmul_at_rows<Backend>(ap, bp, op, i0, i1, k, m, n);
   });
   return out;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/simd.hpp"
 
 namespace dtmsv::nn {
 
@@ -23,13 +24,11 @@ namespace dtmsv::nn {
 /// otherwise. Reference implementations (tests, future kernels) must
 /// accumulate through this same function, in the same order, to stay
 /// bit-identical with the tiled kernels — compiler FP-contraction choices
-/// then cannot make two "equivalent" loops disagree.
+/// then cannot make two "equivalent" loops disagree. Forwards to the
+/// portable SIMD layer's scalar madd, whose vector packs gate FMA on the
+/// same macro, so SIMD kernel lanes share these exact semantics.
 inline float fused_madd(float a, float b, float acc) {
-#ifdef FP_FAST_FMAF
-  return std::fmaf(a, b, acc);
-#else
-  return acc + a * b;
-#endif
+  return util::simd::madd(a, b, acc);
 }
 
 /// Shape of a tensor; empty shape denotes a scalar-like 1-element tensor.

@@ -58,22 +58,60 @@ DdqnAgent::DdqnAgent(const DdqnConfig& config, std::uint64_t seed)
   target_ = build_mlp(config_, rng_);
   nn::copy_parameters(*online_, *target_);
   optimizer_ = std::make_unique<nn::Adam>(online_->parameters(), config_.learning_rate);
+  single_state_ = nn::Tensor({1, config_.state_dim});
 }
 
 double DdqnAgent::current_epsilon() const { return epsilon_.value(action_steps_); }
 
 std::vector<float> DdqnAgent::q_values(std::span<const float> state) {
   DTMSV_EXPECTS(state.size() == config_.state_dim);
-  nn::Tensor input({1, config_.state_dim});
-  std::copy(state.begin(), state.end(), input.data().begin());
-  const nn::Tensor out = online_->forward(input);
+  std::copy(state.begin(), state.end(), single_state_.data().begin());
+  const nn::Tensor out = online_->forward(single_state_);
   return {out.data().begin(), out.data().end()};
 }
 
 std::size_t DdqnAgent::greedy_action(std::span<const float> state) {
-  const auto q = q_values(state);
-  return static_cast<std::size_t>(
-      std::distance(q.begin(), std::max_element(q.begin(), q.end())));
+  DTMSV_EXPECTS(state.size() == config_.state_dim);
+  // Scans the forward output in place (no q-vector materialised); first
+  // maximum wins, like std::max_element over q_values would.
+  std::copy(state.begin(), state.end(), single_state_.data().begin());
+  const nn::Tensor out = online_->forward(single_state_);
+  const std::span<const float> q = out.data();
+  std::size_t best = 0;
+  for (std::size_t a = 1; a < config_.action_count; ++a) {
+    if (q[a] > q[best]) {
+      best = a;
+    }
+  }
+  return best;
+}
+
+nn::Tensor DdqnAgent::q_values_batch(std::span<const float> states, std::size_t n) {
+  DTMSV_EXPECTS(n > 0);
+  DTMSV_EXPECTS(states.size() == n * config_.state_dim);
+  if (batch_state_.rank() != 2 || batch_state_.dim(0) != n) {
+    batch_state_ = nn::Tensor({n, config_.state_dim});
+  }
+  std::copy(states.begin(), states.end(), batch_state_.data().begin());
+  return online_->forward(batch_state_);
+}
+
+std::vector<std::size_t> DdqnAgent::greedy_actions(std::span<const float> states,
+                                                   std::size_t n) {
+  const nn::Tensor q = q_values_batch(states, n);
+  const float* rows = q.data().data();
+  std::vector<std::size_t> actions(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = rows + i * config_.action_count;
+    std::size_t best = 0;
+    for (std::size_t a = 1; a < config_.action_count; ++a) {
+      if (row[a] > row[best]) {
+        best = a;
+      }
+    }
+    actions[i] = best;
+  }
+  return actions;
 }
 
 std::size_t DdqnAgent::act(std::span<const float> state, bool explore) {

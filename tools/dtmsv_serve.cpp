@@ -26,6 +26,7 @@
 #include "util/config.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -155,7 +156,12 @@ void write_run_meta(dtmsv::core::JsonReportSink& sink,
              {"ladder", json_string(ladder_to_string(plan.serve.degradation))},
              {"grouping_stage", json_string(plan.serve.scheme.grouping_stage)},
              {"demand_stage", json_string(plan.serve.scheme.demand_stage)},
-             {"threads", std::to_string(threads)}});
+             {"threads", std::to_string(threads)},
+             {"simd_backend",
+              json_string(dtmsv::util::simd::active_backend_name())},
+             {"native_arch",
+              json_string(dtmsv::util::simd::native_arch_build() ? "on"
+                                                                 : "off")}});
 }
 
 void write_summary_meta(dtmsv::core::JsonReportSink& sink,

@@ -24,6 +24,7 @@
 #include "util/config.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
+#include "util/simd.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -158,6 +159,10 @@ void write_run_meta(dtmsv::core::JsonReportSink& sink,
              {"cell_count", std::to_string(s.cell_count)},
              {"intervals", std::to_string(s.intervals)},
              {"threads", std::to_string(threads)},
+             {"simd_backend",
+              json_string(dtmsv::util::simd::active_backend_name())},
+             {"native_arch",
+              json_string(dtmsv::util::simd::native_arch_build() ? "on" : "off")},
              {"feature_stage", json_string(feature_stage_key(s.base))},
              {"grouping_stage", json_string(grouping_stage_key(s.base))},
              {"demand_stage", json_string(demand_stage_key(s.base))}});
