@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_streaming.dir/examples/campus_streaming.cpp.o"
+  "CMakeFiles/campus_streaming.dir/examples/campus_streaming.cpp.o.d"
+  "campus_streaming"
+  "campus_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

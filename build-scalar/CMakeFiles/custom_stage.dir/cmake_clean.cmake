@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_stage.dir/examples/custom_stage.cpp.o"
+  "CMakeFiles/custom_stage.dir/examples/custom_stage.cpp.o.d"
+  "custom_stage"
+  "custom_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/popularity.cpp" "CMakeFiles/dtmsv.dir/src/analysis/popularity.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/analysis/popularity.cpp.o.d"
+  "/root/repo/src/analysis/recommend.cpp" "CMakeFiles/dtmsv.dir/src/analysis/recommend.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/analysis/recommend.cpp.o.d"
+  "/root/repo/src/analysis/swiping.cpp" "CMakeFiles/dtmsv.dir/src/analysis/swiping.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/analysis/swiping.cpp.o.d"
+  "/root/repo/src/behavior/preference.cpp" "CMakeFiles/dtmsv.dir/src/behavior/preference.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/behavior/preference.cpp.o.d"
+  "/root/repo/src/behavior/session.cpp" "CMakeFiles/dtmsv.dir/src/behavior/session.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/behavior/session.cpp.o.d"
+  "/root/repo/src/cli/scenario_loader.cpp" "CMakeFiles/dtmsv.dir/src/cli/scenario_loader.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/cli/scenario_loader.cpp.o.d"
+  "/root/repo/src/cli/serve_loader.cpp" "CMakeFiles/dtmsv.dir/src/cli/serve_loader.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/cli/serve_loader.cpp.o.d"
+  "/root/repo/src/clustering/kmeans.cpp" "CMakeFiles/dtmsv.dir/src/clustering/kmeans.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/clustering/kmeans.cpp.o.d"
+  "/root/repo/src/clustering/metrics.cpp" "CMakeFiles/dtmsv.dir/src/clustering/metrics.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/clustering/metrics.cpp.o.d"
+  "/root/repo/src/clustering/point_matrix.cpp" "CMakeFiles/dtmsv.dir/src/clustering/point_matrix.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/clustering/point_matrix.cpp.o.d"
+  "/root/repo/src/clustering/selectors.cpp" "CMakeFiles/dtmsv.dir/src/clustering/selectors.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/clustering/selectors.cpp.o.d"
+  "/root/repo/src/core/feature_compressor.cpp" "CMakeFiles/dtmsv.dir/src/core/feature_compressor.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/feature_compressor.cpp.o.d"
+  "/root/repo/src/core/fleet.cpp" "CMakeFiles/dtmsv.dir/src/core/fleet.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/fleet.cpp.o.d"
+  "/root/repo/src/core/group_constructor.cpp" "CMakeFiles/dtmsv.dir/src/core/group_constructor.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/group_constructor.cpp.o.d"
+  "/root/repo/src/core/json_sink.cpp" "CMakeFiles/dtmsv.dir/src/core/json_sink.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/json_sink.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/dtmsv.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/scenarios.cpp" "CMakeFiles/dtmsv.dir/src/core/scenarios.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/scenarios.cpp.o.d"
+  "/root/repo/src/core/serve.cpp" "CMakeFiles/dtmsv.dir/src/core/serve.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/serve.cpp.o.d"
+  "/root/repo/src/core/serve_workload.cpp" "CMakeFiles/dtmsv.dir/src/core/serve_workload.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/serve_workload.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "CMakeFiles/dtmsv.dir/src/core/simulation.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/core/simulation.cpp.o.d"
+  "/root/repo/src/mobility/campus_map.cpp" "CMakeFiles/dtmsv.dir/src/mobility/campus_map.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/mobility/campus_map.cpp.o.d"
+  "/root/repo/src/mobility/random_waypoint.cpp" "CMakeFiles/dtmsv.dir/src/mobility/random_waypoint.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/mobility/random_waypoint.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "CMakeFiles/dtmsv.dir/src/nn/activations.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/conv1d.cpp" "CMakeFiles/dtmsv.dir/src/nn/conv1d.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/conv1d.cpp.o.d"
+  "/root/repo/src/nn/gradient_check.cpp" "CMakeFiles/dtmsv.dir/src/nn/gradient_check.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/gradient_check.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "CMakeFiles/dtmsv.dir/src/nn/init.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/init.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/dtmsv.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "CMakeFiles/dtmsv.dir/src/nn/loss.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "CMakeFiles/dtmsv.dir/src/nn/optimizer.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "CMakeFiles/dtmsv.dir/src/nn/pooling.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "CMakeFiles/dtmsv.dir/src/nn/sequential.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "CMakeFiles/dtmsv.dir/src/nn/serialize.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "CMakeFiles/dtmsv.dir/src/nn/tensor.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/nn/tensor.cpp.o.d"
+  "/root/repo/src/predict/baselines.cpp" "CMakeFiles/dtmsv.dir/src/predict/baselines.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/predict/baselines.cpp.o.d"
+  "/root/repo/src/predict/channel_predictor.cpp" "CMakeFiles/dtmsv.dir/src/predict/channel_predictor.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/predict/channel_predictor.cpp.o.d"
+  "/root/repo/src/predict/demand.cpp" "CMakeFiles/dtmsv.dir/src/predict/demand.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/predict/demand.cpp.o.d"
+  "/root/repo/src/predict/planner.cpp" "CMakeFiles/dtmsv.dir/src/predict/planner.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/predict/planner.cpp.o.d"
+  "/root/repo/src/rl/ddqn.cpp" "CMakeFiles/dtmsv.dir/src/rl/ddqn.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/rl/ddqn.cpp.o.d"
+  "/root/repo/src/rl/replay_buffer.cpp" "CMakeFiles/dtmsv.dir/src/rl/replay_buffer.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/rl/replay_buffer.cpp.o.d"
+  "/root/repo/src/twin/collector.cpp" "CMakeFiles/dtmsv.dir/src/twin/collector.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/twin/collector.cpp.o.d"
+  "/root/repo/src/twin/column_store.cpp" "CMakeFiles/dtmsv.dir/src/twin/column_store.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/twin/column_store.cpp.o.d"
+  "/root/repo/src/twin/store.cpp" "CMakeFiles/dtmsv.dir/src/twin/store.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/twin/store.cpp.o.d"
+  "/root/repo/src/twin/udt.cpp" "CMakeFiles/dtmsv.dir/src/twin/udt.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/twin/udt.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "CMakeFiles/dtmsv.dir/src/util/config.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/util/config.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "CMakeFiles/dtmsv.dir/src/util/csv.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/util/csv.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "CMakeFiles/dtmsv.dir/src/util/error.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/util/error.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "CMakeFiles/dtmsv.dir/src/util/parallel.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/util/parallel.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/dtmsv.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/dtmsv.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/dtmsv.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/video/catalog.cpp" "CMakeFiles/dtmsv.dir/src/video/catalog.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/video/catalog.cpp.o.d"
+  "/root/repo/src/video/dataset.cpp" "CMakeFiles/dtmsv.dir/src/video/dataset.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/video/dataset.cpp.o.d"
+  "/root/repo/src/video/transcode.cpp" "CMakeFiles/dtmsv.dir/src/video/transcode.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/video/transcode.cpp.o.d"
+  "/root/repo/src/wireless/channel.cpp" "CMakeFiles/dtmsv.dir/src/wireless/channel.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/wireless/channel.cpp.o.d"
+  "/root/repo/src/wireless/cqi.cpp" "CMakeFiles/dtmsv.dir/src/wireless/cqi.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/wireless/cqi.cpp.o.d"
+  "/root/repo/src/wireless/fading.cpp" "CMakeFiles/dtmsv.dir/src/wireless/fading.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/wireless/fading.cpp.o.d"
+  "/root/repo/src/wireless/multicast.cpp" "CMakeFiles/dtmsv.dir/src/wireless/multicast.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/wireless/multicast.cpp.o.d"
+  "/root/repo/src/wireless/pathloss.cpp" "CMakeFiles/dtmsv.dir/src/wireless/pathloss.cpp.o" "gcc" "CMakeFiles/dtmsv.dir/src/wireless/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

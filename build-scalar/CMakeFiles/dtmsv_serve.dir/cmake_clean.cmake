@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtmsv_serve.dir/tools/dtmsv_serve.cpp.o"
+  "CMakeFiles/dtmsv_serve.dir/tools/dtmsv_serve.cpp.o.d"
+  "dtmsv_serve"
+  "dtmsv_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtmsv_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtmsv_sim.dir/tools/dtmsv_sim.cpp.o"
+  "CMakeFiles/dtmsv_sim.dir/tools/dtmsv_sim.cpp.o.d"
+  "dtmsv_sim"
+  "dtmsv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtmsv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_demo.dir/examples/fleet_demo.cpp.o"
+  "CMakeFiles/fleet_demo.dir/examples/fleet_demo.cpp.o.d"
+  "fleet_demo"
+  "fleet_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_explorer.dir/examples/group_explorer.cpp.o"
+  "CMakeFiles/group_explorer.dir/examples/group_explorer.cpp.o.d"
+  "group_explorer"
+  "group_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

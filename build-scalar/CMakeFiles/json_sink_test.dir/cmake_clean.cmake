@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/json_sink_test.dir/tests/json_sink_test.cpp.o"
+  "CMakeFiles/json_sink_test.dir/tests/json_sink_test.cpp.o.d"
+  "json_sink_test"
+  "json_sink_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/json_sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

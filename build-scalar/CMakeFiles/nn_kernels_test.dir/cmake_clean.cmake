@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_kernels_test.dir/tests/nn_kernels_test.cpp.o"
+  "CMakeFiles/nn_kernels_test.dir/tests/nn_kernels_test.cpp.o.d"
+  "nn_kernels_test"
+  "nn_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

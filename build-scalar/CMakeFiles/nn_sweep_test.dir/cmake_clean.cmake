@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_sweep_test.dir/tests/nn_sweep_test.cpp.o"
+  "CMakeFiles/nn_sweep_test.dir/tests/nn_sweep_test.cpp.o.d"
+  "nn_sweep_test"
+  "nn_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

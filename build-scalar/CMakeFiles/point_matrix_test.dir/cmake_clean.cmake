@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_matrix_test.dir/tests/point_matrix_test.cpp.o"
+  "CMakeFiles/point_matrix_test.dir/tests/point_matrix_test.cpp.o.d"
+  "point_matrix_test"
+  "point_matrix_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenarios_test.dir/tests/scenarios_test.cpp.o"
+  "CMakeFiles/scenarios_test.dir/tests/scenarios_test.cpp.o.d"
+  "scenarios_test"
+  "scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twin_test.dir/tests/twin_test.cpp.o"
+  "CMakeFiles/twin_test.dir/tests/twin_test.cpp.o.d"
+  "twin_test"
+  "twin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

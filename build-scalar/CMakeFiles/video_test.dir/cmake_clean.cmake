@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_test.dir/tests/video_test.cpp.o"
+  "CMakeFiles/video_test.dir/tests/video_test.cpp.o.d"
+  "video_test"
+  "video_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

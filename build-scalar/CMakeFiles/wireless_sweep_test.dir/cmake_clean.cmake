@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_sweep_test.dir/tests/wireless_sweep_test.cpp.o"
+  "CMakeFiles/wireless_sweep_test.dir/tests/wireless_sweep_test.cpp.o.d"
+  "wireless_sweep_test"
+  "wireless_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

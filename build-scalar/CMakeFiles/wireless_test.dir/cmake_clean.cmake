@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wireless_test.dir/tests/wireless_test.cpp.o"
+  "CMakeFiles/wireless_test.dir/tests/wireless_test.cpp.o.d"
+  "wireless_test"
+  "wireless_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wireless_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
